@@ -1,0 +1,150 @@
+// Command graph500 runs the two Graph500 kernels the paper's
+// introduction highlights (LLNL's Sierra submission used YGM for its
+// BFS; SSSP is the benchmark's second kernel) on the simulated cluster:
+// an RMAT graph is built through the mailbox, then BFS and SSSP run from
+// several roots, each validated against a sequential oracle, with
+// harmonic-mean traversed-edges-per-second (TEPS) reported in simulated
+// time.
+//
+// Usage:
+//
+//	graph500 -scale 12 -ef 8 -nodes 8 -cores 8 -roots 4 -scheme NLNR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"ygm/internal/apps"
+	"ygm/internal/graph"
+	"ygm/internal/machine"
+	"ygm/internal/netsim"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+func main() {
+	scale := flag.Int("scale", 11, "graph has 2^scale vertices")
+	ef := flag.Int("ef", 8, "edge factor (edges = ef * vertices)")
+	nodes := flag.Int("nodes", 8, "simulated compute nodes")
+	cores := flag.Int("cores", 8, "cores per node")
+	roots := flag.Int("roots", 4, "number of search roots")
+	schemeName := flag.String("scheme", "NLNR", "routing scheme")
+	mailbox := flag.Int("mailbox", 1024, "mailbox capacity (records)")
+	seed := flag.Int64("seed", 12, "workload seed")
+	flag.Parse()
+
+	scheme, err := machine.ParseScheme(*schemeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world := *nodes * *cores
+	n := uint64(1) << uint(*scale)
+	totalEdges := int(n) * *ef
+	edgesPerRank := totalEdges / world
+	if edgesPerRank == 0 {
+		log.Fatalf("graph500: %d edges cannot be split over %d ranks", totalEdges, world)
+	}
+
+	fmt.Printf("graph500-style kernels on YGM (%s routing)\n", scheme)
+	fmt.Printf("graph: scale %d (%d vertices), edge factor %d (%d edges), %d ranks\n",
+		*scale, n, *ef, edgesPerRank*world, world)
+	fmt.Printf("note: each kernel generates its own deterministic RMAT stream with identical parameters\n\n")
+
+	var tepsBFS, tepsSSSP []float64
+	for root := 0; root < *roots; root++ {
+		rootVertex := uint64(root) * (n / uint64(*roots))
+
+		bfsCfg := apps.BFSConfig{
+			Mailbox:      ygm.Options{Scheme: scheme, Capacity: *mailbox},
+			Scale:        *scale,
+			EdgesPerRank: edgesPerRank,
+			Params:       graph.Graph500,
+			Seed:         *seed,
+			Root:         rootVertex,
+		}
+		visited, levels, makespan := runBFS(*nodes, *cores, *seed, bfsCfg)
+		teps := float64(edgesPerRank*world) / makespan
+		tepsBFS = append(tepsBFS, teps)
+		fmt.Printf("BFS  root %8d: %7d reached, %2d levels, %8.1f us -> %7.1f MTEPS (simulated)\n",
+			rootVertex, visited, levels, makespan*1e6, teps/1e6)
+
+		ssspCfg := apps.SSSPConfig{
+			Mailbox:      ygm.Options{Scheme: scheme, Capacity: *mailbox},
+			Scale:        *scale,
+			EdgesPerRank: edgesPerRank,
+			Params:       graph.Graph500,
+			Seed:         *seed,
+			Root:         rootVertex,
+			MaxWeight:    255,
+		}
+		visited, relax, makespan := runSSSP(*nodes, *cores, *seed, ssspCfg)
+		teps = float64(edgesPerRank*world) / makespan
+		tepsSSSP = append(tepsSSSP, teps)
+		fmt.Printf("SSSP root %8d: %7d reached, %7d relaxations, %8.1f us -> %7.1f MTEPS (simulated)\n",
+			rootVertex, visited, relax, makespan*1e6, teps/1e6)
+	}
+
+	fmt.Printf("\nharmonic mean: BFS %.1f MTEPS, SSSP %.1f MTEPS (simulated time)\n",
+		harmonicMean(tepsBFS)/1e6, harmonicMean(tepsSSSP)/1e6)
+}
+
+func runBFS(nodes, cores int, seed int64, cfg apps.BFSConfig) (visited uint64, levels int, makespan float64) {
+	var mu sync.Mutex
+	rep, err := transport.Run(transport.Config{
+		Topo:  machine.New(nodes, cores),
+		Model: netsim.Quartz(),
+		Seed:  seed,
+	}, func(p *transport.Proc) error {
+		res, err := apps.BFS(p, cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		visited = res.Visited
+		levels = res.Levels
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return visited, levels, rep.Makespan()
+}
+
+func runSSSP(nodes, cores int, seed int64, cfg apps.SSSPConfig) (visited, relax uint64, makespan float64) {
+	var mu sync.Mutex
+	rep, err := transport.Run(transport.Config{
+		Topo:  machine.New(nodes, cores),
+		Model: netsim.Quartz(),
+		Seed:  seed,
+	}, func(p *transport.Proc) error {
+		res, err := apps.SSSP(p, cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		visited = res.Visited
+		relax += res.Relaxations
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return visited, relax, rep.Makespan()
+}
+
+func harmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var inv float64
+	for _, x := range xs {
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}

@@ -1,0 +1,130 @@
+// Command ygm-bench regenerates the paper's evaluation figures on the
+// simulated cluster and prints each as a table.
+//
+// Usage:
+//
+//	ygm-bench                              # every figure, quick preset
+//	ygm-bench -fig fig6a,fig8d -preset paper
+//	ygm-bench -fig fig7a -cores 8 -nodes 1,4,16,64
+//	ygm-bench -list
+//
+// Experiments report *simulated* seconds from the netsim cost model (one
+// host executes every rank as a goroutine); see EXPERIMENTS.md for how
+// the resulting shapes compare with the paper's figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ygm/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ygm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ygm-bench", flag.ContinueOnError)
+	figs := fs.String("fig", "all", "comma-separated experiment ids, or 'all'")
+	preset := fs.String("preset", "quick", "workload preset: quick or paper")
+	cores := fs.Int("cores", 0, "override simulated cores per node")
+	nodes := fs.String("nodes", "", "override node-count sweep (comma-separated)")
+	seed := fs.Int64("seed", 0, "override workload seed")
+	mailbox := fs.Int("mailbox", 0, "override mailbox capacity (records)")
+	format := fs.String("format", "table", "output format: table or csv")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	p, err := bench.PresetByName(*preset)
+	if err != nil {
+		return err
+	}
+	if *cores > 0 {
+		p.Cores = *cores
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *mailbox > 0 {
+		p.MailboxCap = *mailbox
+	}
+	if *nodes != "" {
+		var sweep []int
+		for _, tok := range strings.Split(*nodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -nodes entry %q", tok)
+			}
+			sweep = append(sweep, n)
+		}
+		p.WeakNodes = sweep
+		p.StrongNodes = sweep
+		var grid []int
+		for _, n := range sweep {
+			if isSquare(n * p.Cores) {
+				grid = append(grid, n)
+			}
+		}
+		p.GridNodes = grid
+	}
+
+	var selected []bench.Experiment
+	if *figs == "all" {
+		selected = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*figs, ",") {
+			e, err := bench.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *format != "table" && *format != "csv" {
+		return fmt.Errorf("unknown -format %q (have table, csv)", *format)
+	}
+	if *format == "table" {
+		fmt.Printf("# YGM reproduction benchmarks (preset=%s, cores/node=%d, mailbox=%d, seed=%d)\n",
+			p.Name, p.Cores, p.MailboxCap, p.Seed)
+		fmt.Printf("# times are SIMULATED seconds on the netsim cost model\n\n")
+	}
+	for _, e := range selected {
+		start := time.Now()
+		table := e.Run(p)
+		if *format == "csv" {
+			fmt.Printf("# %s\n", e.ID)
+			table.PrintCSV(os.Stdout)
+			fmt.Println()
+			continue
+		}
+		table.Print(os.Stdout)
+		fmt.Printf("(generated in %.1fs wall)\n\n", time.Since(start).Seconds())
+	}
+	return nil
+}
+
+func isSquare(n int) bool {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r*r == n
+}

@@ -1,0 +1,72 @@
+// Degree counting (Algorithm 1 of the paper): stream uniform random
+// edges through the mailbox, counting vertex degrees at their owner
+// ranks, and compare the four routing schemes on the same workload —
+// a miniature of the Fig. 6 experiment.
+//
+// Run with: go run ./examples/degreecount [-nodes N] [-cores C] [-edges E]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ygm/internal/apps"
+	"ygm/internal/graph"
+	"ygm/internal/machine"
+	"ygm/internal/netsim"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 16, "simulated compute nodes")
+	cores := flag.Int("cores", 4, "cores per node")
+	edges := flag.Int("edges", 2048, "edges generated per rank")
+	capacity := flag.Int("mailbox", 256, "mailbox capacity in records")
+	flag.Parse()
+
+	world := *nodes * *cores
+	numVertices := uint64(world) * 256
+
+	fmt.Printf("degree counting: %d nodes x %d cores, %d edges/rank, %d vertices\n\n",
+		*nodes, *cores, *edges, numVertices)
+	fmt.Printf("%-12s %12s %14s %16s %12s\n", "scheme", "sim time", "remote pkts", "avg remote pkt", "utilization")
+
+	for _, scheme := range machine.Schemes {
+		cfg := apps.DegreeCountConfig{
+			Mailbox:      ygm.Options{Scheme: scheme, Capacity: *capacity},
+			NumVertices:  numVertices,
+			EdgesPerRank: *edges,
+			NewGen: func(p *transport.Proc) graph.Generator {
+				return graph.NewUniform(numVertices, 7+int64(p.Rank()))
+			},
+		}
+		report, err := transport.Run(transport.Config{
+			Topo:  machine.New(*nodes, *cores),
+			Model: netsim.Quartz(),
+			Seed:  7,
+		}, func(p *transport.Proc) error {
+			res, err := apps.DegreeCount(p, cfg)
+			if err != nil {
+				return err
+			}
+			// Sanity: every received message incremented some counter.
+			var local uint64
+			for _, d := range res.Degrees {
+				local += d
+			}
+			_ = local
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tot := report.Totals()
+		fmt.Printf("%-12s %10.1fus %14d %14.1fB %11.1f%%\n",
+			scheme, report.Makespan()*1e6, tot.DataRemoteMsgs,
+			tot.AvgDataRemoteMsgBytes(), 100*report.Utilization())
+	}
+	fmt.Println("\nrouting schemes trade local forwarding hops for fewer, larger remote packets;")
+	fmt.Println("watch avg remote packet size grow NoRoute -> NodeLocal/NodeRemote -> NLNR.")
+}

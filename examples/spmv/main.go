@@ -1,0 +1,127 @@
+// Sparse matrix-dense vector multiplication (Algorithm 2) with vertex
+// delegates, compared head-to-head against the CombBLAS-style 2D
+// bulk-synchronous baseline on the same matrix — a miniature of the
+// Fig. 8 comparison. Both implementations multiply the identical
+// deterministic matrix, so the example also cross-validates them
+// against the sequential oracle before timing.
+//
+// Run with: go run ./examples/spmv [-scale S] [-nodes N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"ygm/internal/apps"
+	"ygm/internal/combblas"
+	"ygm/internal/graph"
+	"ygm/internal/machine"
+	"ygm/internal/netsim"
+	"ygm/internal/spmat"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+func main() {
+	scale := flag.Int("scale", 10, "matrix is 2^scale x 2^scale")
+	nodes := flag.Int("nodes", 4, "simulated compute nodes (nodes*cores must be square for the 2D baseline)")
+	cores := flag.Int("cores", 4, "cores per node")
+	edgeFactor := flag.Int("ef", 8, "nonzeros per matrix row (edge factor)")
+	flag.Parse()
+
+	world := *nodes * *cores
+	n := uint64(1) << uint(*scale)
+	edgesPerRank := int(n) * *edgeFactor / world
+	const seed = 21
+
+	// Sequential oracle for validation.
+	var trips []spmat.Triplet
+	for r := 0; r < world; r++ {
+		g := graph.NewRMAT(graph.Graph500, *scale, seed*104729+int64(r))
+		for k := 0; k < edgesPerRank; k++ {
+			e := g.Next()
+			trips = append(trips, spmat.Triplet{Row: e.V, Col: e.U, Val: apps.MatrixValue(e.U, e.V)})
+		}
+	}
+	x := make([]float64, n)
+	for j := range x {
+		x[j] = apps.XValue(uint64(j), 0)
+	}
+	want := spmat.SpMVSeq(trips, x)
+
+	// YGM SpMV with delegates, NLNR routing.
+	ygmCfg := apps.SpMVConfig{
+		Mailbox:      ygm.Options{Scheme: machine.NLNR, Capacity: 512},
+		Scale:        *scale,
+		EdgesPerRank: edgesPerRank,
+		Params:       graph.Graph500,
+		DelegateFrac: 0.05,
+		Seed:         seed,
+		Iterations:   1,
+	}
+	results := make([]*apps.SpMVResult, world)
+	var mu sync.Mutex
+	ygmReport, err := transport.Run(transport.Config{
+		Topo: machine.New(*nodes, *cores), Model: netsim.Quartz(), Seed: seed,
+	}, func(p *transport.Proc) error {
+		res, err := apps.SpMV(p, ygmCfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[p.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr := 0.0
+	for i := uint64(0); i < n; i++ {
+		got := results[graph.Owner(i, world)].Y[graph.LocalID(i, world)]
+		if e := math.Abs(got - want[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+
+	fmt.Printf("matrix: 2^%d x 2^%d, %d nonzeros, %d delegates\n", *scale, *scale, len(trips), results[0].Delegates)
+	fmt.Printf("YGM SpMV (NLNR):      %8.1f us simulated, max |err| = %.2e\n", ygmReport.Makespan()*1e6, maxErr)
+
+	// CombBLAS-style 2D baseline on the same matrix.
+	cbCfg := combblas.Config{
+		Scale: *scale, EdgesPerRank: edgesPerRank, Params: graph.Graph500,
+		Seed: seed, Iterations: 1, XValue: apps.XValue, MatrixValue: apps.MatrixValue,
+	}
+	cbResults := make([]*combblas.Result, world)
+	cbReport, err := transport.Run(transport.Config{
+		Topo: machine.New(*nodes, *cores), Model: netsim.Quartz(), Seed: seed,
+	}, func(p *transport.Proc) error {
+		res, err := combblas.SpMV(p, cbCfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		cbResults[p.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("2D baseline failed (is nodes*cores a perfect square?): %v", err)
+	}
+	grid, _ := spmat.NewGrid(world)
+	maxErr = 0
+	for b := 0; b < grid.R; b++ {
+		res := cbResults[grid.RankAt(b, b)]
+		for k, v := range res.Y {
+			if e := math.Abs(v - want[res.YLo+uint64(k)]); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	fmt.Printf("CombBLAS-style 2D:    %8.1f us simulated, max |err| = %.2e\n", cbReport.Makespan()*1e6, maxErr)
+	fmt.Println("\nthe 2D baseline wins at small scale; YGM's asynchronous routing overtakes as")
+	fmt.Println("node counts grow (run the fig8a benchmark for the full sweep)")
+}

@@ -1,0 +1,3 @@
+module ygm
+
+go 1.22

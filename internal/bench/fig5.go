@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+)
+
+// Topology regenerates the structural content of Figs. 1-4: for an
+// example cluster it tabulates, per routing scheme, the maximum number
+// of direct remote partners any core has, the resulting average remote
+// message size scaling exponent, and the worst-case hop count — the
+// quantities the exchange-topology diagrams illustrate.
+func Topology(p Preset) *Table {
+	t := &Table{ID: "topo", Title: "exchange topology summary (N=16 nodes, C=4 cores)"}
+	topo := machine.New(16, 4)
+	for _, s := range machine.Schemes {
+		t.Add(Row{
+			Labels: []Label{{Key: "scheme", Val: s.String()}},
+			Values: []Value{
+				{Key: "max_remote_partners", Val: float64(topo.MaxRemotePartners(s))},
+				{Key: "max_hops", Val: float64(machine.MaxHops(s))},
+			},
+		})
+	}
+	return t
+}
+
+// Fig5 regenerates the bandwidth-vs-message-size curve: for each size it
+// reports the cost model's effective bandwidth and a measured value from
+// an actual two-rank transfer on the simulated transport (the paper
+// measured MVAPICH between two Quartz ranks). It then adds the scheme
+// markers of Fig. 5: for a fixed per-core send volume on a 64-node,
+// 32-core system, the average remote message size each routing scheme
+// achieves — V/(NC) for no routing, V/N for NodeLocal/NodeRemote, VC/N
+// for NLNR — and the bandwidth the curve yields at that size.
+func Fig5(p Preset) *Table {
+	t := &Table{ID: "fig5", Title: "network bandwidth between two ranks vs message size"}
+	for size := 8; size <= 4<<20; size *= 4 {
+		protocol := "eager"
+		if size > 16*1024 {
+			protocol = "rendezvous"
+		}
+		t.Add(Row{
+			Labels: []Label{
+				{Key: "msg_size", Val: fmt.Sprintf("%d", size)},
+				{Key: "protocol", Val: protocol},
+			},
+			Values: []Value{
+				{Key: "model_bw", Val: quartzGBs(p.Model.EffectiveBandwidth(size)), Unit: "GB/s"},
+				{Key: "measured_bw", Val: quartzGBs(measureBandwidth(p, size)), Unit: "GB/s"},
+			},
+		})
+	}
+	// Scheme markers: V = 1 MiB per core, N = 64, C = 32 (as in the
+	// paper's annotation, which assumes 32 cores per node).
+	const v, n, c = 1 << 20, 64, 32
+	for _, m := range []struct {
+		scheme string
+		size   float64
+	}{
+		{"NoRoute", float64(v) / (n * c)},
+		{"NodeLocal/NodeRemote", float64(v) / n},
+		{"NLNR", float64(v) * c / n},
+	} {
+		t.Add(Row{
+			Labels: []Label{
+				{Key: "msg_size", Val: fmt.Sprintf("%.0f", m.size)},
+				{Key: "protocol", Val: "marker:" + m.scheme},
+			},
+			Values: []Value{
+				{Key: "model_bw", Val: quartzGBs(p.Model.EffectiveBandwidth(int(m.size))), Unit: "GB/s"},
+			},
+		})
+	}
+	return t
+}
+
+// measureBandwidth ping-pongs `count` messages of the given size between
+// two ranks on different nodes and returns the achieved one-way
+// bytes/second (the osu_bw-style measurement behind Fig. 5). Ping-pong
+// rather than a pipelined burst, so the per-message latency shows up in
+// the small-message regime exactly as in the paper's plot.
+func measureBandwidth(p Preset, size int) float64 {
+	const count = 8
+	rep, _ := runWorld(p, 2, nil, func(proc *transport.Proc, ex *extras) error {
+		peer := proc.Topo().RankOf(1, 0)
+		switch proc.Rank() {
+		case 0:
+			for i := 0; i < count; i++ {
+				proc.Send(peer, transport.TagUser, make([]byte, size))
+				proc.Recv(transport.TagUser)
+			}
+		case peer:
+			for i := 0; i < count; i++ {
+				proc.Recv(transport.TagUser)
+				proc.Send(0, transport.TagUser, make([]byte, size))
+			}
+		}
+		return nil
+	})
+	elapsed := rep.Makespan()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(2*count*size) / elapsed
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"ygm/internal/apps"
+	"ygm/internal/graph"
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+// degreeRun executes the degree-counting application across the world
+// and returns its row values.
+func degreeRun(p Preset, nodes int, scheme machine.Scheme, numVertices uint64, edgesPerRank int) Row {
+	world := nodes * p.Cores
+	batch := edgesPerRank / maxInt(1, p.DegreeBatches)
+	cfg := apps.DegreeCountConfig{
+		Mailbox:      ygm.Options{Scheme: scheme, Capacity: p.MailboxCap},
+		NumVertices:  numVertices,
+		EdgesPerRank: edgesPerRank,
+		BatchSize:    batch,
+		NewGen: func(proc *transport.Proc) graph.Generator {
+			return graph.NewUniform(numVertices, p.Seed*31+int64(proc.Rank()))
+		},
+	}
+	rep, _ := runWorld(p, nodes, nil, func(proc *transport.Proc, ex *extras) error {
+		_, err := apps.DegreeCount(proc, cfg)
+		return err
+	})
+	totalEdges := float64(edgesPerRank) * float64(world)
+	return Row{
+		Labels: schemeLabel(nodes, scheme),
+		Values: perfValues(rep, totalEdges, "edges"),
+	}
+}
+
+// Fig6a: degree counting weak scaling. The paper used 2^28 vertices and
+// 2^32 edges per node with a 2^18 mailbox on 36-core nodes; the preset
+// keeps edges-per-rank and mailbox size fixed across the node sweep,
+// which is what produces the NoRoute collapse and the eventual
+// NodeLocal/NodeRemote coalescing falloff.
+func Fig6a(p Preset) *Table {
+	t := &Table{ID: "fig6a", Title: "degree counting weak scaling (uniform edges, fixed mailbox)"}
+	for _, nodes := range p.WeakNodes {
+		world := uint64(nodes * p.Cores)
+		numVertices := p.DegreeVerticesPerRank * world
+		for _, scheme := range machine.Schemes {
+			t.Add(degreeRun(p, nodes, scheme, numVertices, p.DegreeEdgesPerRank))
+		}
+	}
+	return t
+}
+
+// Fig6b: degree counting strong scaling (fixed total problem).
+func Fig6b(p Preset) *Table {
+	t := &Table{ID: "fig6b", Title: "degree counting strong scaling (fixed total edges)"}
+	for _, nodes := range p.StrongNodes {
+		world := nodes * p.Cores
+		edgesPerRank := p.DegreeStrongEdges / world
+		if edgesPerRank == 0 {
+			edgesPerRank = 1
+		}
+		for _, scheme := range machine.Schemes {
+			t.Add(degreeRun(p, nodes, scheme, p.DegreeStrongVertices, edgesPerRank))
+		}
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"ygm/internal/machine"
+)
+
+// TestProbe prints degree-counting times across node counts; run
+// explicitly with -run TestProbe -v (skipped by default).
+func TestProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	p := Quick()
+	p.MailboxCap = 128
+	p.DegreeEdgesPerRank = 256
+	for _, nodes := range []int{4, 16, 32} {
+		world := uint64(nodes * p.Cores)
+		nv := p.DegreeVerticesPerRank * world
+		line := fmt.Sprintf("nodes=%d:", nodes)
+		for _, s := range machine.Schemes {
+			row := degreeRun(p, nodes, s, nv, p.DegreeEdgesPerRank)
+			tm, _ := row.Get("sim_time")
+			av, _ := row.Get("avg_remote_msg")
+			line += fmt.Sprintf("  %s t=%.1fus avg=%.0fB", s, tm*1e6, av)
+		}
+		t.Log(line)
+	}
+}

@@ -1,0 +1,129 @@
+// Package collective implements synchronous MPI-style collective
+// operations on top of the transport layer: barrier, broadcast, reduce,
+// allreduce, gather, scatter, all-to-all and friends. YGM's termination
+// detection runs on these, and the CombBLAS-style baseline uses them for
+// its bulk-synchronous phases — exhibiting exactly the slowest-rank
+// coupling the paper's asynchronous mailbox avoids.
+//
+// Every operation is collective over a Comm: all member ranks must call
+// the same operations in the same order. Tags are derived from a hash of
+// the member list plus a per-communicator sequence number and the round
+// index, so concurrent communicators and back-to-back operations do not
+// cross-talk.
+package collective
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+)
+
+// Comm is a communicator: an ordered rank group with a private tag space.
+// Construct one per rank with New (or World); all members must pass the
+// member list in the same order.
+type Comm struct {
+	p     *transport.Proc
+	ranks []machine.Rank
+	me    int // index of p.Rank() in ranks
+	hash  uint64
+	seq   uint64
+}
+
+// New builds a communicator over ranks for the calling rank p. The list
+// must contain p's rank exactly once; duplicates or absent callers are
+// programming errors and return an error.
+func New(p *transport.Proc, ranks []machine.Rank) (*Comm, error) {
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("collective: empty communicator")
+	}
+	me := -1
+	seen := make(map[machine.Rank]bool, len(ranks))
+	for i, r := range ranks {
+		if !p.Topo().Valid(r) {
+			return nil, fmt.Errorf("collective: invalid rank %d in communicator", r)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("collective: duplicate rank %d in communicator", r)
+		}
+		seen[r] = true
+		if r == p.Rank() {
+			me = i
+		}
+	}
+	if me < 0 {
+		return nil, fmt.Errorf("collective: rank %d not a member of communicator", p.Rank())
+	}
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, r := range ranks {
+		buf[0] = byte(r)
+		buf[1] = byte(r >> 8)
+		buf[2] = byte(r >> 16)
+		buf[3] = byte(r >> 24)
+		h.Write(buf[:])
+	}
+	members := make([]machine.Rank, len(ranks))
+	copy(members, ranks)
+	return &Comm{p: p, ranks: members, me: me, hash: h.Sum64()}, nil
+}
+
+// World returns the communicator spanning every rank, in rank order.
+func World(p *transport.Proc) *Comm {
+	ranks := make([]machine.Rank, p.WorldSize())
+	for i := range ranks {
+		ranks[i] = machine.Rank(i)
+	}
+	c, err := New(p, ranks)
+	if err != nil {
+		panic(err) // cannot happen: world always contains the caller
+	}
+	return c
+}
+
+// Size returns the number of member ranks.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Index returns the calling rank's position within the communicator.
+func (c *Comm) Index() int { return c.me }
+
+// Ranks returns the member list (callers must not mutate it).
+func (c *Comm) Ranks() []machine.Rank { return c.ranks }
+
+// nextOp advances the per-communicator sequence number and returns it.
+// All members advance in lockstep because operations are collective.
+func (c *Comm) nextOp() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// tag derives the transport tag for round `round` of operation `op`.
+// Layout: the collective bit, 22 bits of member-list hash, 32 bits of
+// operation sequence, 8 bits of round.
+func (c *Comm) tag(op uint64, round int) transport.Tag {
+	return transport.TagCollective |
+		transport.Tag((c.hash&0x3fffff)<<41) |
+		transport.Tag((op&0xffffffff)<<8) |
+		transport.Tag(round&0xff)
+}
+
+// send transmits payload to the member at index idx.
+func (c *Comm) send(idx int, t transport.Tag, payload []byte) {
+	c.p.Send(c.ranks[idx], t, payload)
+}
+
+// recv blocks for one packet of tag t and returns it.
+func (c *Comm) recv(t transport.Tag) *transport.Packet {
+	return c.p.Recv(t)
+}
+
+// indexOf maps a member rank back to its communicator index.
+func (c *Comm) indexOf(r machine.Rank) int {
+	for i, m := range c.ranks {
+		if m == r {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,235 @@
+// Package graph provides the synthetic graph workloads of the paper's
+// evaluation: an RMAT generator (Graph500 parameterization for the
+// connected-components and SpMV experiments), uniform Erdős–Rényi-style
+// edges (degree counting, Fig. 6), a skewed "webgraph-like" preset
+// standing in for the WDC 2012 crawl (Fig. 8d), plus vertex-partitioning
+// and delegate-threshold helpers.
+//
+// All generators are deterministic given a seed, so SPMD ranks can each
+// generate their share of a globally well-defined edge stream without
+// communication.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Edge is one directed edge of a graph with integer vertex ids.
+type Edge struct {
+	U, V uint64
+}
+
+// Generator produces a deterministic stream of edges.
+type Generator interface {
+	// Next returns the next edge in the stream.
+	Next() Edge
+}
+
+// RMATParams are the quadrant probabilities of the recursive matrix
+// generator of Chakrabarti, Zhan and Faloutsos. They must be
+// non-negative and sum to 1.
+type RMATParams struct {
+	A, B, C, D float64
+}
+
+// Graph500 is the parameterization used by the Graph500 benchmark and by
+// the paper's connected-components and Fig. 8a SpMV experiments.
+var Graph500 = RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+
+// Uniform4 sets all quadrants to 0.25, yielding uniformly sampled edges
+// (an Erdős–Rényi-like graph); the paper uses it for Fig. 8c.
+var Uniform4 = RMATParams{A: 0.25, B: 0.25, C: 0.25, D: 0.25}
+
+// Webgraph is a skewed preset standing in for the WDC 2012 hyperlink
+// graph of Fig. 8d: heavier-tailed than Graph500, as web crawls are.
+var Webgraph = RMATParams{A: 0.63, B: 0.17, C: 0.15, D: 0.05}
+
+// Validate reports whether the parameters form a probability vector.
+func (p RMATParams) Validate() error {
+	for _, v := range []float64{p.A, p.B, p.C, p.D} {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("graph: negative RMAT parameter in %+v", p)
+		}
+	}
+	if s := p.A + p.B + p.C + p.D; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("graph: RMAT parameters sum to %g, want 1", s)
+	}
+	return nil
+}
+
+// RMAT generates edges over 2^Scale vertices by recursive quadrant
+// descent. Distinct seeds give independent streams, letting each rank
+// draw its share of a partitioned workload.
+type RMAT struct {
+	params RMATParams
+	scale  int
+	rng    *rand.Rand
+}
+
+// NewRMAT returns an RMAT generator. Scale must be in [1, 62].
+func NewRMAT(params RMATParams, scale int, seed int64) *RMAT {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	if scale < 1 || scale > 62 {
+		panic(fmt.Sprintf("graph: RMAT scale %d out of range", scale))
+	}
+	return &RMAT{params: params, scale: scale, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NumVertices returns 2^scale.
+func (g *RMAT) NumVertices() uint64 { return 1 << uint(g.scale) }
+
+// Next draws one edge.
+func (g *RMAT) Next() Edge {
+	var u, v uint64
+	ab := g.params.A + g.params.B
+	abc := ab + g.params.C
+	for i := 0; i < g.scale; i++ {
+		u <<= 1
+		v <<= 1
+		r := g.rng.Float64()
+		switch {
+		case r < g.params.A:
+			// top-left: no bits set
+		case r < ab:
+			v |= 1
+		case r < abc:
+			u |= 1
+		default:
+			u |= 1
+			v |= 1
+		}
+	}
+	return Edge{U: u, V: v}
+}
+
+// UniformGen samples edge endpoints independently and uniformly from
+// [0, NumVertices) — the degree-counting workload of Fig. 6.
+type UniformGen struct {
+	n   uint64
+	rng *rand.Rand
+}
+
+// NewUniform returns a uniform edge generator over n vertices.
+func NewUniform(n uint64, seed int64) *UniformGen {
+	if n == 0 {
+		panic("graph: uniform generator over zero vertices")
+	}
+	return &UniformGen{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NumVertices returns the vertex-set size.
+func (g *UniformGen) NumVertices() uint64 { return g.n }
+
+// Next draws one edge.
+func (g *UniformGen) Next() Edge {
+	return Edge{
+		U: uint64(g.rng.Int63n(int64(g.n))),
+		V: uint64(g.rng.Int63n(int64(g.n))),
+	}
+}
+
+// Collect draws n edges from g into a slice.
+func Collect(g Generator, n int) []Edge {
+	out := make([]Edge, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Owner returns the rank that owns vertex v under the paper's
+// round-robin 1D partitioning (Algorithm 1, line 9).
+func Owner(v uint64, worldSize int) int {
+	return int(v % uint64(worldSize))
+}
+
+// LocalID returns the dense local index of vertex v on its owner rank
+// (Algorithm 1, line 5).
+func LocalID(v uint64, worldSize int) uint64 {
+	return v / uint64(worldSize)
+}
+
+// LocalCount returns how many of n round-robin-partitioned vertices rank
+// r owns.
+func LocalCount(n uint64, worldSize, r int) uint64 {
+	base := n / uint64(worldSize)
+	if uint64(r) < n%uint64(worldSize) {
+		return base + 1
+	}
+	return base
+}
+
+// GlobalID inverts LocalID for rank r.
+func GlobalID(local uint64, worldSize, r int) uint64 {
+	return local*uint64(worldSize) + uint64(r)
+}
+
+// ExpectedMaxDegree estimates the expected largest (out-)degree of an
+// RMAT graph with the given parameters, scale and edge count: the
+// hottest row is hit with probability (A+B)^scale per edge. The paper
+// scales its delegate threshold with this quantity to keep the delegate
+// count from exploding under weak scaling (Section VI-B).
+func ExpectedMaxDegree(p RMATParams, scale int, edges uint64) float64 {
+	return float64(edges) * math.Pow(p.A+p.B, float64(scale))
+}
+
+// DelegateThreshold returns the degree above which a vertex is delegated,
+// as a fraction of the expected maximum degree, but never below 2 (a
+// threshold of 0 or 1 would delegate everything).
+func DelegateThreshold(p RMATParams, scale int, edges uint64, frac float64) uint64 {
+	t := frac * ExpectedMaxDegree(p, scale, edges)
+	if t < 2 {
+		return 2
+	}
+	return uint64(t)
+}
+
+// Degrees computes the (undirected: both endpoints count) degree of
+// every vertex in edges, for test oracles and sequential baselines.
+func Degrees(edges []Edge, numVertices uint64) []uint64 {
+	deg := make([]uint64, numVertices)
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	return deg
+}
+
+// ConnectedComponentsSeq finds, for every vertex, the minimum vertex id
+// reachable from it (treating edges as undirected) — the sequential
+// oracle for the distributed label-propagation experiment. Isolated
+// vertices are their own component.
+func ConnectedComponentsSeq(edges []Edge, numVertices uint64) []uint64 {
+	parent := make([]uint64, numVertices)
+	for i := range parent {
+		parent[i] = uint64(i)
+	}
+	var find func(x uint64) uint64
+	find = func(x uint64) uint64 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b uint64) {
+		ra, rb := find(a), find(b)
+		if ra < rb {
+			parent[rb] = ra
+		} else if rb < ra {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range edges {
+		union(e.U, e.V)
+	}
+	out := make([]uint64, numVertices)
+	for i := range out {
+		out[i] = find(uint64(i))
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+// Package grb is a minimal GraphBLAS-style layer built on top of the YGM
+// mailbox — the future-work direction Section VII names ("we are
+// considering building GraphBLAS on top of YGM"). It provides distributed
+// sparse matrices (1D column partition, CSC blocks), distributed dense
+// vectors, semirings, and a matrix-vector product whose scatter of
+// partial products rides the mailbox's coalescing and routing. Graph
+// algorithms compose from semiring MxV: BFS is (min,plus) iteration with
+// unit weights, reachability is boolean or/and, and so on.
+package grb
+
+import (
+	"fmt"
+	"math"
+
+	"ygm/internal/codec"
+	"ygm/internal/collective"
+	"ygm/internal/graph"
+	"ygm/internal/machine"
+	"ygm/internal/spmat"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+// Semiring bundles the add monoid and multiply operator of a GraphBLAS
+// semiring over float64.
+type Semiring struct {
+	Name string
+	// Zero is the identity of Add. For the provided semirings it also
+	// annihilates Mul (a Mul Zero == Zero), so Zero-valued vector
+	// entries generate no messages — sparse-frontier behaviour.
+	Zero float64
+	Add  func(a, b float64) float64
+	Mul  func(a, b float64) float64
+}
+
+// PlusTimes is ordinary linear algebra.
+var PlusTimes = Semiring{
+	Name: "plus-times",
+	Zero: 0,
+	Add:  func(a, b float64) float64 { return a + b },
+	Mul:  func(a, b float64) float64 { return a * b },
+}
+
+// MinPlus is the tropical semiring of shortest paths.
+var MinPlus = Semiring{
+	Name: "min-plus",
+	Zero: math.Inf(1),
+	Add:  math.Min,
+	Mul:  func(a, b float64) float64 { return a + b },
+}
+
+// OrAnd is boolean reachability over {0,1}.
+var OrAnd = Semiring{
+	Name: "or-and",
+	Zero: 0,
+	Add:  func(a, b float64) float64 { return math.Max(a, b) },
+	Mul:  func(a, b float64) float64 { return math.Min(a, b) },
+}
+
+// Context owns the mailbox shared by all grb operations of one rank.
+// Operations are collective: every rank must perform the same sequence.
+type Context struct {
+	p     *transport.Proc
+	mb    ygm.Box
+	comm  *collective.Comm
+	world int
+
+	// in-flight operation state, driven by the shared handler
+	buildEntries *[]spmat.Triplet
+	accumY       []float64
+	accumAdd     func(a, b float64) float64
+}
+
+// Message type bytes of the grb mailbox protocol.
+const (
+	grbMsgEntry = 0 // [row, localCol?, bits] matrix entry for the receiver
+	grbMsgAccum = 1 // [localRow, bits]      y accumulation
+)
+
+// NewContext creates the per-rank grb state. Collective.
+func NewContext(p *transport.Proc, opts ygm.Options) *Context {
+	ctx := &Context{p: p, world: p.WorldSize(), comm: collective.World(p)}
+	ctx.mb = ygm.NewBox(p, ctx.handle, opts)
+	return ctx
+}
+
+func (ctx *Context) handle(s ygm.Sender, payload []byte) {
+	r := codec.NewReader(payload)
+	typ, err := r.Byte()
+	if err != nil {
+		panic(fmt.Sprintf("grb: corrupt message: %v", err))
+	}
+	switch typ {
+	case grbMsgEntry:
+		if ctx.buildEntries == nil {
+			panic("grb: matrix entry outside a build")
+		}
+		row, err1 := r.Uvarint()
+		col, err2 := r.Uvarint()
+		bits, err3 := r.Uvarint()
+		if err1 != nil || err2 != nil || err3 != nil {
+			panic("grb: corrupt matrix entry")
+		}
+		*ctx.buildEntries = append(*ctx.buildEntries, spmat.Triplet{
+			Row: row, Col: col, Val: math.Float64frombits(bits),
+		})
+	case grbMsgAccum:
+		if ctx.accumY == nil {
+			panic("grb: accumulation outside an MxV")
+		}
+		l, err1 := r.Uvarint()
+		bits, err2 := r.Uvarint()
+		if err1 != nil || err2 != nil {
+			panic("grb: corrupt accumulation")
+		}
+		ctx.accumY[l] = ctx.accumAdd(ctx.accumY[l], math.Float64frombits(bits))
+	default:
+		panic(fmt.Sprintf("grb: unknown message type %d", typ))
+	}
+}
+
+// Matrix is an n x n sparse matrix, columns distributed round-robin.
+type Matrix struct {
+	n     uint64
+	block *spmat.CSC // local columns, rows global
+}
+
+// N returns the matrix dimension.
+func (m *Matrix) N() uint64 { return m.n }
+
+// NNZ returns the locally stored nonzero count.
+func (m *Matrix) NNZ() int { return m.block.NNZ() }
+
+// BuildMatrix assembles an n x n matrix from each rank's triplet share
+// (global row/col ids); entries are routed to their column owners
+// through the mailbox. Collective.
+func (ctx *Context) BuildMatrix(n uint64, mine []spmat.Triplet) (*Matrix, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("grb: empty matrix")
+	}
+	var entries []spmat.Triplet
+	ctx.buildEntries = &entries
+	for _, t := range mine {
+		if t.Row >= n || t.Col >= n {
+			ctx.buildEntries = nil
+			return nil, fmt.Errorf("grb: entry (%d,%d) outside %d x %d", t.Row, t.Col, n, n)
+		}
+		owner := machine.Rank(graph.Owner(t.Col, ctx.world))
+		w := codec.NewWriter(24)
+		w.Byte(grbMsgEntry)
+		w.Uvarint(t.Row)
+		w.Uvarint(graph.LocalID(t.Col, ctx.world)) // pre-localized for the owner
+		w.Uvarint(math.Float64bits(t.Val))
+		ctx.mb.Send(owner, w.Bytes())
+	}
+	ctx.mb.WaitEmpty()
+	ctx.buildEntries = nil
+	localCols := graph.LocalCount(n, ctx.world, int(ctx.p.Rank()))
+	block, err := spmat.NewCSC(int(localCols), entries)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{n: n, block: block}, nil
+}
+
+// Vector is a dense distributed vector, entries round-robin like matrix
+// columns.
+type Vector struct {
+	n     uint64
+	local []float64
+}
+
+// NewVector returns a vector of dimension n filled with fill.
+func (ctx *Context) NewVector(n uint64, fill float64) *Vector {
+	local := make([]float64, graph.LocalCount(n, ctx.world, int(ctx.p.Rank())))
+	for i := range local {
+		local[i] = fill
+	}
+	return &Vector{n: n, local: local}
+}
+
+// N returns the vector dimension.
+func (v *Vector) N() uint64 { return v.n }
+
+// SetGlobal assigns value to global index i if this rank owns it.
+func (ctx *Context) SetGlobal(v *Vector, i uint64, value float64) {
+	if graph.Owner(i, ctx.world) == int(ctx.p.Rank()) {
+		v.local[graph.LocalID(i, ctx.world)] = value
+	}
+}
+
+// GetLocal returns the locally owned slice (global id = l*P + rank).
+func (v *Vector) GetLocal() []float64 { return v.local }
+
+// MxV computes y = A (semiring) x: y_i = Add_j Mul(A_ij, x_j). Partial
+// products scatter to row owners through the mailbox; Zero-valued x
+// entries are skipped (Zero annihilates Mul for the provided semirings).
+// Collective.
+func (ctx *Context) MxV(s Semiring, a *Matrix, x *Vector) (*Vector, error) {
+	if a.n != x.n {
+		return nil, fmt.Errorf("grb: dimension mismatch %d vs %d", a.n, x.n)
+	}
+	y := ctx.NewVector(a.n, s.Zero)
+	ctx.accumY = y.local
+	ctx.accumAdd = s.Add
+	me := int(ctx.p.Rank())
+	cpm := ctx.p.Model().ComputePerMessage
+	for c := 0; c < a.block.NumCols(); c++ {
+		xj := x.local[c]
+		if xj == s.Zero {
+			continue
+		}
+		a.block.ForEachInCol(c, func(row uint64, val float64) {
+			ctx.p.Compute(cpm)
+			prod := s.Mul(val, xj)
+			if owner := graph.Owner(row, ctx.world); owner == me {
+				l := graph.LocalID(row, ctx.world)
+				y.local[l] = s.Add(y.local[l], prod)
+			} else {
+				w := codec.NewWriter(20)
+				w.Byte(grbMsgAccum)
+				w.Uvarint(graph.LocalID(row, ctx.world))
+				w.Uvarint(math.Float64bits(prod))
+				ctx.mb.Send(machine.Rank(owner), w.Bytes())
+			}
+		})
+	}
+	ctx.mb.WaitEmpty()
+	ctx.accumY = nil
+	ctx.accumAdd = nil
+	return y, nil
+}
+
+// EWiseAdd returns the elementwise Add of two vectors.
+func (ctx *Context) EWiseAdd(s Semiring, a, b *Vector) (*Vector, error) {
+	if a.n != b.n {
+		return nil, fmt.Errorf("grb: dimension mismatch %d vs %d", a.n, b.n)
+	}
+	out := ctx.NewVector(a.n, s.Zero)
+	for i := range out.local {
+		out.local[i] = s.Add(a.local[i], b.local[i])
+	}
+	return out, nil
+}
+
+// Equal reports whether two vectors are elementwise identical on every
+// rank. Collective.
+func (ctx *Context) Equal(a, b *Vector) bool {
+	same := uint64(1)
+	if a.n != b.n {
+		same = 0
+	} else {
+		for i := range a.local {
+			if a.local[i] != b.local[i] {
+				same = 0
+				break
+			}
+		}
+	}
+	return ctx.comm.AllreduceU64([]uint64{same}, collective.MinU64)[0] == 1
+}
+
+// ReduceScalar Add-reduces every entry of v to a single global value.
+// Collective.
+func (ctx *Context) ReduceScalar(s Semiring, v *Vector) float64 {
+	acc := s.Zero
+	for _, x := range v.local {
+		acc = s.Add(acc, x)
+	}
+	return ctx.comm.AllreduceF64([]float64{acc}, s.Add)[0]
+}
+
+// BFSLevels computes BFS levels from root via (min,plus) iteration with
+// unit weights: dist' = min(dist, A^T-relax(dist) + 1) until fixpoint.
+// Unreached vertices hold +Inf. Collective.
+func (ctx *Context) BFSLevels(a *Matrix, root uint64) (*Vector, error) {
+	if root >= a.n {
+		return nil, fmt.Errorf("grb: root %d outside %d", root, a.n)
+	}
+	dist := ctx.NewVector(a.n, MinPlus.Zero)
+	ctx.SetGlobal(dist, root, 0)
+	for {
+		next, err := ctx.MxV(MinPlus, a, dist)
+		if err != nil {
+			return nil, err
+		}
+		merged, err := ctx.EWiseAdd(MinPlus, dist, next)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Equal(merged, dist) {
+			return dist, nil
+		}
+		dist = merged
+	}
+}

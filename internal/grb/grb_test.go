@@ -1,0 +1,272 @@
+package grb
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"ygm/internal/graph"
+	"ygm/internal/machine"
+	"ygm/internal/netsim"
+	"ygm/internal/spmat"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+func runGrb(t *testing.T, nodes, cores int, body func(ctx *Context) error) {
+	t.Helper()
+	_, err := transport.Run(transport.Config{
+		Topo:  machine.New(nodes, cores),
+		Model: netsim.Quartz(),
+		Seed:  17,
+	}, func(p *transport.Proc) error {
+		return body(NewContext(p, ygm.Options{Scheme: machine.NLNR, Capacity: 128}))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gatherVector collects a distributed vector into a dense slice for
+// assertions (test-side, via shared memory).
+type vecGather struct {
+	mu  sync.Mutex
+	out []float64
+}
+
+func (vg *vecGather) put(ctx *Context, v *Vector) {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	if vg.out == nil {
+		vg.out = make([]float64, v.N())
+	}
+	for l, val := range v.GetLocal() {
+		vg.out[graph.GlobalID(uint64(l), ctx.world, int(ctx.p.Rank()))] = val
+	}
+}
+
+func TestBuildAndMxVPlusTimes(t *testing.T) {
+	// A = [[1 2 0],[0 0 3],[4 0 0]] (3x3... use n=4 with an empty slot),
+	// x = [1, 10, 100, 0].
+	entries := []spmat.Triplet{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 2},
+		{Row: 1, Col: 2, Val: 3}, {Row: 2, Col: 0, Val: 4},
+	}
+	want := []float64{21, 300, 4, 0}
+	vg := &vecGather{}
+	runGrb(t, 2, 2, func(ctx *Context) error {
+		var mine []spmat.Triplet
+		if ctx.p.Rank() == 1 {
+			mine = entries // one rank contributes everything
+		}
+		a, err := ctx.BuildMatrix(4, mine)
+		if err != nil {
+			return err
+		}
+		x := ctx.NewVector(4, 0)
+		for j, v := range []float64{1, 10, 100, 0} {
+			ctx.SetGlobal(x, uint64(j), v)
+		}
+		y, err := ctx.MxV(PlusTimes, a, x)
+		if err != nil {
+			return err
+		}
+		vg.put(ctx, y)
+		return nil
+	})
+	for i, w := range want {
+		if math.Abs(vg.out[i]-w) > 1e-12 {
+			t.Fatalf("y = %v, want %v", vg.out, want)
+		}
+	}
+}
+
+// TestMxVMatchesSpMVSeq cross-checks the semiring product against the
+// plain sequential oracle on a random matrix.
+func TestMxVMatchesSpMVSeq(t *testing.T) {
+	const n = 128
+	var trips []spmat.Triplet
+	g := graph.NewRMAT(graph.Uniform4, 7, 5)
+	for k := 0; k < 300; k++ {
+		e := g.Next()
+		trips = append(trips, spmat.Triplet{Row: e.V, Col: e.U, Val: 1 + float64(k%7)})
+	}
+	x := make([]float64, n)
+	for j := range x {
+		x[j] = float64(j%13) - 4
+	}
+	want := spmat.SpMVSeq(trips, x)
+	vg := &vecGather{}
+	runGrb(t, 2, 3, func(ctx *Context) error {
+		// Split the triplets round-robin across ranks.
+		var mine []spmat.Triplet
+		for k, tr := range trips {
+			if k%ctx.world == int(ctx.p.Rank()) {
+				mine = append(mine, tr)
+			}
+		}
+		a, err := ctx.BuildMatrix(n, mine)
+		if err != nil {
+			return err
+		}
+		xv := ctx.NewVector(n, 0)
+		for j := uint64(0); j < n; j++ {
+			ctx.SetGlobal(xv, j, x[j])
+		}
+		y, err := ctx.MxV(PlusTimes, a, xv)
+		if err != nil {
+			return err
+		}
+		vg.put(ctx, y)
+		return nil
+	})
+	for i := range want {
+		if math.Abs(vg.out[i]-want[i]) > 1e-9 {
+			t.Fatalf("y[%d] = %g, want %g", i, vg.out[i], want[i])
+		}
+	}
+}
+
+func TestBFSLevelsViaMinPlus(t *testing.T) {
+	// Path 0-1-2-3 plus isolated 4..7: levels 0,1,2,3, Inf...
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}
+	vg := &vecGather{}
+	runGrb(t, 2, 2, func(ctx *Context) error {
+		var mine []spmat.Triplet
+		if ctx.p.Rank() == 0 {
+			for _, e := range edges { // undirected: both orientations
+				mine = append(mine,
+					spmat.Triplet{Row: e.V, Col: e.U, Val: 1},
+					spmat.Triplet{Row: e.U, Col: e.V, Val: 1})
+			}
+		}
+		a, err := ctx.BuildMatrix(8, mine)
+		if err != nil {
+			return err
+		}
+		dist, err := ctx.BFSLevels(a, 0)
+		if err != nil {
+			return err
+		}
+		vg.put(ctx, dist)
+		return nil
+	})
+	want := []float64{0, 1, 2, 3}
+	for i, w := range want {
+		if vg.out[i] != w {
+			t.Fatalf("levels = %v", vg.out)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if !math.IsInf(vg.out[i], 1) {
+			t.Fatalf("vertex %d should be unreached: %v", i, vg.out)
+		}
+	}
+}
+
+// TestBFSLevelsOnRMAT cross-checks the GraphBLAS BFS against a direct
+// sequential BFS on a generated graph.
+func TestBFSLevelsOnRMAT(t *testing.T) {
+	const scale, edges = 7, 300
+	n := uint64(1) << scale
+	all := graph.Collect(graph.NewRMAT(graph.Graph500, scale, 99), edges)
+	// Sequential oracle.
+	adj := make([][]uint64, n)
+	for _, e := range all {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Inf(1)
+	}
+	want[0] = 0
+	queue := []uint64{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if math.IsInf(want[v], 1) {
+				want[v] = want[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	vg := &vecGather{}
+	runGrb(t, 3, 2, func(ctx *Context) error {
+		var mine []spmat.Triplet
+		for k, e := range all {
+			if k%ctx.world != int(ctx.p.Rank()) {
+				continue
+			}
+			mine = append(mine,
+				spmat.Triplet{Row: e.V, Col: e.U, Val: 1},
+				spmat.Triplet{Row: e.U, Col: e.V, Val: 1})
+		}
+		a, err := ctx.BuildMatrix(n, mine)
+		if err != nil {
+			return err
+		}
+		dist, err := ctx.BFSLevels(a, 0)
+		if err != nil {
+			return err
+		}
+		vg.put(ctx, dist)
+		return nil
+	})
+	for i := range want {
+		if vg.out[i] != want[i] {
+			t.Fatalf("level(%d) = %v, want %v", i, vg.out[i], want[i])
+		}
+	}
+}
+
+func TestReduceScalarAndEWise(t *testing.T) {
+	runGrb(t, 2, 2, func(ctx *Context) error {
+		v := ctx.NewVector(10, 1)
+		if got := ctx.ReduceScalar(PlusTimes, v); got != 10 {
+			return fmt.Errorf("sum = %g", got)
+		}
+		w := ctx.NewVector(10, 0)
+		ctx.SetGlobal(w, 3, 5)
+		m, err := ctx.EWiseAdd(PlusTimes, v, w)
+		if err != nil {
+			return err
+		}
+		if got := ctx.ReduceScalar(PlusTimes, m); got != 15 {
+			return fmt.Errorf("ewise sum = %g", got)
+		}
+		if got := ctx.ReduceScalar(MinPlus, w); got != 0 {
+			return fmt.Errorf("min = %g", got)
+		}
+		return nil
+	})
+}
+
+func TestGrbErrors(t *testing.T) {
+	runGrb(t, 1, 2, func(ctx *Context) error {
+		if _, err := ctx.BuildMatrix(0, nil); err == nil {
+			return fmt.Errorf("empty matrix accepted")
+		}
+		if _, err := ctx.BuildMatrix(4, []spmat.Triplet{{Row: 9, Col: 0}}); err == nil {
+			return fmt.Errorf("out-of-range entry accepted")
+		}
+		a, err := ctx.BuildMatrix(4, nil)
+		if err != nil {
+			return err
+		}
+		x := ctx.NewVector(8, 0)
+		if _, err := ctx.MxV(PlusTimes, a, x); err == nil {
+			return fmt.Errorf("dimension mismatch accepted")
+		}
+		b := ctx.NewVector(4, 0)
+		if _, err := ctx.EWiseAdd(PlusTimes, x, b); err == nil {
+			return fmt.Errorf("ewise mismatch accepted")
+		}
+		if _, err := ctx.BFSLevels(a, 99); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		return nil
+	})
+}

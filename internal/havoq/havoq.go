@@ -1,0 +1,191 @@
+// Package havoq is a vertex-visitor execution framework in the style of
+// HavoqGT, the LLNL asynchronous graph library the paper names as YGM's
+// first production user (Section I; YGM "has been incorporated into
+// HavoqGT"). Algorithms are expressed as visitors: small payloads
+// targeted at vertices, delivered through the YGM mailbox, and queued in
+// a rank-local work queue (FIFO or priority-ordered). The engine
+// interleaves local queue processing with nonblocking termination
+// detection — the TEST_EMPTY polling pattern Section IV-B describes for
+// "algorithms that maintain work queues external to YGM".
+package havoq
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+// VisitFunc processes one visitor payload on its target rank. It may
+// push further visitors (locally or remotely) through the engine. The
+// payload aliases internal buffers: copy anything retained.
+type VisitFunc func(e *Engine, payload []byte)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Mailbox carries routing scheme and capacity.
+	Mailbox ygm.Options
+	// Less, when non-nil, orders the local work queue as a priority
+	// queue over visitor payloads (e.g. by tentative distance for
+	// SSSP). Nil means FIFO.
+	Less func(a, b []byte) bool
+	// MaxQueue bounds the local queue (0 = unbounded). Exceeding it
+	// panics: visitor algorithms are expected to be work-bounded.
+	MaxQueue int
+}
+
+// Engine is the per-rank visitor executor. Confined to its rank's
+// goroutine.
+type Engine struct {
+	p     *transport.Proc
+	mb    *ygm.Mailbox
+	visit VisitFunc
+	cfg   Config
+
+	fifo  [][]byte
+	pq    payloadHeap
+	stats Stats
+}
+
+// Stats counts engine activity on one rank.
+type Stats struct {
+	// Visits is the number of visitor executions.
+	Visits uint64
+	// LocalPushes / RemotePushes split Push destinations.
+	LocalPushes  uint64
+	RemotePushes uint64
+	// MaxQueueDepth is the local queue's high-water mark.
+	MaxQueueDepth int
+}
+
+// New creates an engine on rank p. Collective: all ranks must construct
+// engines with identical options before Run.
+func New(p *transport.Proc, visit VisitFunc, cfg Config) *Engine {
+	if visit == nil {
+		panic("havoq: nil visit function")
+	}
+	e := &Engine{p: p, visit: visit, cfg: cfg}
+	if cfg.Less != nil {
+		e.pq.less = cfg.Less
+	}
+	e.mb = ygm.New(p, func(s ygm.Sender, payload []byte) {
+		// Mailbox deliveries enqueue work rather than running it inline,
+		// so visit-time sends never recurse through the handler.
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		e.enqueue(buf)
+	}, cfg.Mailbox)
+	return e
+}
+
+// Proc returns the underlying transport endpoint.
+func (e *Engine) Proc() *transport.Proc { return e.p }
+
+// Mailbox exposes the engine's mailbox (for stats).
+func (e *Engine) Mailbox() *ygm.Mailbox { return e.mb }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Push schedules a visitor on dst. Pushes to the local rank enqueue
+// directly; remote pushes travel through the mailbox.
+func (e *Engine) Push(dst machine.Rank, payload []byte) {
+	if dst == e.p.Rank() {
+		e.stats.LocalPushes++
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		e.enqueue(buf)
+		return
+	}
+	e.stats.RemotePushes++
+	e.mb.Send(dst, payload)
+}
+
+func (e *Engine) enqueue(payload []byte) {
+	if e.cfg.Less != nil {
+		heap.Push(&e.pq, payload)
+	} else {
+		e.fifo = append(e.fifo, payload)
+	}
+	if d := e.queueLen(); d > e.stats.MaxQueueDepth {
+		e.stats.MaxQueueDepth = d
+	}
+	if e.cfg.MaxQueue > 0 && e.queueLen() > e.cfg.MaxQueue {
+		panic(fmt.Sprintf("havoq: rank %d local queue exceeded %d", e.p.Rank(), e.cfg.MaxQueue))
+	}
+}
+
+func (e *Engine) queueLen() int {
+	if e.cfg.Less != nil {
+		return e.pq.Len()
+	}
+	return len(e.fifo)
+}
+
+func (e *Engine) pop() ([]byte, bool) {
+	if e.cfg.Less != nil {
+		if e.pq.Len() == 0 {
+			return nil, false
+		}
+		return heap.Pop(&e.pq).([]byte), true
+	}
+	if len(e.fifo) == 0 {
+		return nil, false
+	}
+	v := e.fifo[0]
+	e.fifo[0] = nil
+	e.fifo = e.fifo[1:]
+	return v, true
+}
+
+// Run executes visitors until global quiescence: every local queue is
+// empty, every mailbox buffer flushed, and no visitor in flight
+// anywhere. Collective — all ranks must call Run together, and the
+// visitor workload must be finite. The engine is reusable afterwards.
+func (e *Engine) Run() {
+	for {
+		// Drain the local queue; visits may push more work.
+		for {
+			v, ok := e.pop()
+			if !ok {
+				break
+			}
+			e.stats.Visits++
+			e.visit(e, v)
+		}
+		// Local queue empty: make nonblocking termination progress.
+		// TestEmpty drains arrived mailbox traffic, which may enqueue
+		// new visitors — loop back if so; only a true verdict with a
+		// still-empty queue terminates.
+		done := e.mb.TestEmpty()
+		if e.queueLen() > 0 {
+			continue
+		}
+		if done {
+			return
+		}
+		// Idle: give peer goroutines the host CPU while we poll.
+		runtime.Gosched()
+	}
+}
+
+// payloadHeap is a priority queue over visitor payloads.
+type payloadHeap struct {
+	items [][]byte
+	less  func(a, b []byte) bool
+}
+
+func (h *payloadHeap) Len() int           { return len(h.items) }
+func (h *payloadHeap) Less(i, j int) bool { return h.less(h.items[i], h.items[j]) }
+func (h *payloadHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *payloadHeap) Push(x interface{}) { h.items = append(h.items, x.([]byte)) }
+func (h *payloadHeap) Pop() interface{} {
+	n := len(h.items)
+	v := h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	return v
+}

@@ -1,0 +1,202 @@
+// Package machine models the cluster topology YGM routes over: N compute
+// nodes with C cores each. Ranks are addressed either by a flat offset in
+// [0, N*C) or by the (node, core) tuple the paper uses. The package also
+// implements the NLNR "layer" arithmetic (nodes are grouped into layers of
+// size C; a node's layer offset is node mod C) and enumerates the remote
+// partner sets each routing scheme induces, which the routing analysis in
+// Section III of the paper reasons about.
+package machine
+
+import "fmt"
+
+// Rank identifies a single core (an MPI-rank analogue) in the cluster.
+type Rank int32
+
+// Nil is the invalid rank.
+const Nil Rank = -1
+
+// Topology describes a cluster of Nodes compute nodes, each with Cores
+// cores. The zero value is invalid; use New.
+type Topology struct {
+	nodes int
+	cores int
+}
+
+// New returns a Topology with the given node and core counts.
+// It panics if either is non-positive; topologies are configuration,
+// so a bad one is a programming error.
+func New(nodes, cores int) Topology {
+	if nodes <= 0 || cores <= 0 {
+		panic(fmt.Sprintf("machine: invalid topology %d nodes x %d cores", nodes, cores))
+	}
+	if nodes*cores > 1<<24 {
+		panic(fmt.Sprintf("machine: topology %dx%d exceeds %d ranks", nodes, cores, 1<<24))
+	}
+	return Topology{nodes: nodes, cores: cores}
+}
+
+// Nodes returns the number of compute nodes.
+func (t Topology) Nodes() int { return t.nodes }
+
+// Cores returns the number of cores per node.
+func (t Topology) Cores() int { return t.cores }
+
+// WorldSize returns the total number of ranks, Nodes*Cores.
+func (t Topology) WorldSize() int { return t.nodes * t.cores }
+
+// RankOf returns the rank living on core c of node n.
+func (t Topology) RankOf(node, core int) Rank {
+	if node < 0 || node >= t.nodes || core < 0 || core >= t.cores {
+		panic(fmt.Sprintf("machine: (%d,%d) outside %dx%d topology", node, core, t.nodes, t.cores))
+	}
+	return Rank(node*t.cores + core)
+}
+
+// Node returns the node offset of r.
+func (t Topology) Node(r Rank) int { return int(r) / t.cores }
+
+// Core returns the core offset of r within its node.
+func (t Topology) Core(r Rank) int { return int(r) % t.cores }
+
+// Valid reports whether r addresses a rank in this topology.
+func (t Topology) Valid(r Rank) bool { return r >= 0 && int(r) < t.WorldSize() }
+
+// SameNode reports whether a and b live on the same compute node, i.e.
+// whether a message between them is "local" in the paper's terminology.
+func (t Topology) SameNode(a, b Rank) bool { return t.Node(a) == t.Node(b) }
+
+// Layer returns the NLNR layer index of a node: nodes are grouped into
+// layers of Cores consecutive nodes.
+func (t Topology) Layer(node int) int { return node / t.cores }
+
+// LayerOffset returns the NLNR layer offset of a node, node mod Cores.
+// The paper writes this as l = n mod C.
+func (t Topology) LayerOffset(node int) int { return node % t.cores }
+
+// NLNRRemoteIntermediary returns the rank that receives, on dstNode, the
+// remote NLNR hop of a message that originated on srcNode: core
+// (srcNode mod C) of dstNode. The sender-side intermediary on srcNode is
+// core (dstNode mod C); see NLNRLocalIntermediary.
+func (t Topology) NLNRRemoteIntermediary(srcNode, dstNode int) Rank {
+	return t.RankOf(dstNode, t.LayerOffset(srcNode))
+}
+
+// NLNRLocalIntermediary returns the rank on node that aggregates messages
+// destined for dstNode under NLNR routing: core (dstNode mod C) of node.
+func (t Topology) NLNRLocalIntermediary(node, dstNode int) Rank {
+	return t.RankOf(node, t.LayerOffset(dstNode))
+}
+
+// Scheme enumerates the routing protocols of Section III.
+type Scheme int
+
+const (
+	// NoRoute sends every message directly to its destination core.
+	NoRoute Scheme = iota
+	// NodeLocal performs a local exchange, then C remote exchanges among
+	// cores with matching core offset.
+	NodeLocal
+	// NodeRemote performs the remote exchange first, then a local one.
+	NodeRemote
+	// NLNR (node local node remote) performs local, remote, local
+	// exchanges and routes each node pair through a single channel.
+	NLNR
+)
+
+// Schemes lists all routing schemes in presentation order.
+var Schemes = []Scheme{NoRoute, NodeLocal, NodeRemote, NLNR}
+
+// String returns the scheme name as used in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case NoRoute:
+		return "NoRoute"
+	case NodeLocal:
+		return "NodeLocal"
+	case NodeRemote:
+		return "NodeRemote"
+	case NLNR:
+		return "NLNR"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// ParseScheme converts a scheme name (case-sensitive, as printed by
+// String) back to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range Schemes {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return NoRoute, fmt.Errorf("machine: unknown routing scheme %q", name)
+}
+
+// RemotePartners returns the set of remote ranks that rank r sends
+// directly to (over the wire) under scheme s, in ascending order. This is
+// the "channel" membership analysis of Section III-E:
+//
+//	NoRoute:               (N-1)*C partners (every off-node core)
+//	NodeLocal/NodeRemote:  N-1 partners (same core offset on other nodes)
+//	NLNR:                  ~N/C partners (core srcNode%C on nodes n' = core mod C)
+func (t Topology) RemotePartners(s Scheme, r Rank) []Rank {
+	node, core := t.Node(r), t.Core(r)
+	var out []Rank
+	switch s {
+	case NoRoute:
+		for n := 0; n < t.nodes; n++ {
+			if n == node {
+				continue
+			}
+			for c := 0; c < t.cores; c++ {
+				out = append(out, t.RankOf(n, c))
+			}
+		}
+	case NodeLocal, NodeRemote:
+		for n := 0; n < t.nodes; n++ {
+			if n != node {
+				out = append(out, t.RankOf(n, core))
+			}
+		}
+	case NLNR:
+		// r sends remotely to (n', node mod C) for every n' with
+		// n' mod C == core. The reverse direction is symmetric: that
+		// partner's sends to nodes == node (mod C) target core
+		// (partnerNode mod C)... which lands back on r exactly when
+		// n' mod C == core, so the channel is bidirectional.
+		for n := core; n < t.nodes; n += t.cores {
+			if n != node {
+				out = append(out, t.NLNRRemoteIntermediary(node, n))
+			}
+		}
+	}
+	return out
+}
+
+// MaxRemotePartners returns the worst-case direct remote partner count any
+// rank has under scheme s, matching the channel-size analysis in III-E.
+func (t Topology) MaxRemotePartners(s Scheme) int {
+	max := 0
+	for r := Rank(0); int(r) < t.WorldSize(); r++ {
+		if n := len(t.RemotePartners(s, r)); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// LocalRanks returns all ranks on the same node as r, including r itself,
+// in ascending order.
+func (t Topology) LocalRanks(r Rank) []Rank {
+	node := t.Node(r)
+	out := make([]Rank, t.cores)
+	for c := 0; c < t.cores; c++ {
+		out[c] = t.RankOf(node, c)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	return fmt.Sprintf("%d nodes x %d cores (%d ranks)", t.nodes, t.cores, t.WorldSize())
+}

@@ -1,0 +1,343 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressingRoundTrip(t *testing.T) {
+	topo := New(5, 7)
+	for n := 0; n < 5; n++ {
+		for c := 0; c < 7; c++ {
+			r := topo.RankOf(n, c)
+			if topo.Node(r) != n || topo.Core(r) != c {
+				t.Fatalf("RankOf(%d,%d)=%d round-trips to (%d,%d)", n, c, r, topo.Node(r), topo.Core(r))
+			}
+			if !topo.Valid(r) {
+				t.Fatalf("rank %d should be valid", r)
+			}
+		}
+	}
+	if topo.Valid(Rank(35)) || topo.Valid(Nil) {
+		t.Fatal("out-of-range ranks must be invalid")
+	}
+	if topo.WorldSize() != 35 {
+		t.Fatalf("WorldSize = %d, want 35", topo.WorldSize())
+	}
+}
+
+func TestAddressingProperty(t *testing.T) {
+	topo := New(16, 9)
+	f := func(raw uint32) bool {
+		r := Rank(raw % uint32(topo.WorldSize()))
+		return topo.RankOf(topo.Node(r), topo.Core(r)) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range [][2]int{{0, 4}, {4, 0}, {-1, 4}, {4, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", tc[0], tc[1])
+				}
+			}()
+			New(tc[0], tc[1])
+		}()
+	}
+}
+
+func TestLayerArithmetic(t *testing.T) {
+	topo := New(8, 4)
+	// Nodes 0..3 are layer 0, nodes 4..7 layer 1.
+	for n := 0; n < 8; n++ {
+		if got, want := topo.Layer(n), n/4; got != want {
+			t.Errorf("Layer(%d)=%d want %d", n, got, want)
+		}
+		if got, want := topo.LayerOffset(n), n%4; got != want {
+			t.Errorf("LayerOffset(%d)=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestNLNRIntermediaries(t *testing.T) {
+	topo := New(8, 4)
+	// Message from node 1 to node 6: sender-side intermediary is core
+	// 6%4=2 on node 1; receiver side is core 1%4=1 on node 6.
+	if got, want := topo.NLNRLocalIntermediary(1, 6), topo.RankOf(1, 2); got != want {
+		t.Errorf("local intermediary = %d want %d", got, want)
+	}
+	if got, want := topo.NLNRRemoteIntermediary(1, 6), topo.RankOf(6, 1); got != want {
+		t.Errorf("remote intermediary = %d want %d", got, want)
+	}
+}
+
+// TestRemotePartnerCounts checks the channel-size analysis of III-E: a
+// core has (N-1)C remote partners with no routing, N-1 with
+// NodeLocal/NodeRemote, and about N/C with NLNR.
+func TestRemotePartnerCounts(t *testing.T) {
+	topo := New(16, 4) // N multiple of C, as the paper assumes
+	for r := Rank(0); int(r) < topo.WorldSize(); r++ {
+		if got, want := len(topo.RemotePartners(NoRoute, r)), 15*4; got != want {
+			t.Fatalf("NoRoute partners of %d = %d, want %d", r, got, want)
+		}
+		if got, want := len(topo.RemotePartners(NodeLocal, r)), 15; got != want {
+			t.Fatalf("NodeLocal partners of %d = %d, want %d", r, got, want)
+		}
+		if got, want := len(topo.RemotePartners(NodeRemote, r)), 15; got != want {
+			t.Fatalf("NodeRemote partners of %d = %d, want %d", r, got, want)
+		}
+		got := len(topo.RemotePartners(NLNR, r))
+		// 16/4 = 4 nodes share each residue class; minus self when the
+		// rank's node is in its own class.
+		want := 4
+		if topo.Node(r)%4 == topo.Core(r) {
+			want = 3
+		}
+		if got != want {
+			t.Fatalf("NLNR partners of %d = %d, want %d", r, got, want)
+		}
+	}
+	if topo.MaxRemotePartners(NLNR) != 4 {
+		t.Fatalf("MaxRemotePartners(NLNR) = %d, want 4", topo.MaxRemotePartners(NLNR))
+	}
+}
+
+// TestNLNRChannelSymmetry verifies that NLNR channels are bidirectional:
+// if a sends remotely to b, then b sends remotely to a.
+func TestNLNRChannelSymmetry(t *testing.T) {
+	topo := New(12, 4)
+	for r := Rank(0); int(r) < topo.WorldSize(); r++ {
+		for _, p := range topo.RemotePartners(NLNR, r) {
+			back := topo.RemotePartners(NLNR, p)
+			found := false
+			for _, q := range back {
+				if q == r {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("rank %d sends to %d but not vice versa", r, p)
+			}
+		}
+	}
+}
+
+// TestPathsDeliver checks, for every scheme and every (src,dst) pair in a
+// small cluster, that routing terminates at dst within the advertised hop
+// bound, that local/remote hop structure matches the protocol (NodeLocal
+// never crosses the wire on its first of two hops toward an off-node,
+// off-core destination, etc.), and that intermediate hops never self-loop.
+func TestPathsDeliver(t *testing.T) {
+	topo := New(8, 4)
+	for _, s := range Schemes {
+		for src := Rank(0); int(src) < topo.WorldSize(); src++ {
+			for dst := Rank(0); int(dst) < topo.WorldSize(); dst++ {
+				if src == dst {
+					continue
+				}
+				path := topo.Path(s, src, dst)
+				if path[len(path)-1] != dst {
+					t.Fatalf("%v: path %d->%d = %v does not end at dst", s, src, dst, path)
+				}
+				if len(path) > MaxHops(s) {
+					t.Fatalf("%v: path %d->%d has %d hops > max %d", s, src, dst, len(path), MaxHops(s))
+				}
+				prev := src
+				for _, h := range path {
+					if h == prev {
+						t.Fatalf("%v: self-hop in path %d->%d: %v", s, src, dst, path)
+					}
+					prev = h
+				}
+			}
+		}
+	}
+}
+
+// TestNodeLocalHopStructure: the first hop of a NodeLocal route is always
+// local and aligns the core offset; the second crosses the wire.
+func TestNodeLocalHopStructure(t *testing.T) {
+	topo := New(6, 4)
+	src := topo.RankOf(1, 0)
+	dst := topo.RankOf(4, 3)
+	path := topo.Path(NodeLocal, src, dst)
+	if len(path) != 2 {
+		t.Fatalf("path = %v, want 2 hops", path)
+	}
+	if !topo.SameNode(src, path[0]) || topo.Core(path[0]) != 3 {
+		t.Fatalf("first hop %d should be local with dst core offset", path[0])
+	}
+}
+
+// TestNodeRemoteHopStructure: the first hop of a NodeRemote route crosses
+// the wire keeping the core offset; the second is local delivery.
+func TestNodeRemoteHopStructure(t *testing.T) {
+	topo := New(6, 4)
+	src := topo.RankOf(1, 0)
+	dst := topo.RankOf(4, 3)
+	path := topo.Path(NodeRemote, src, dst)
+	if len(path) != 2 {
+		t.Fatalf("path = %v, want 2 hops", path)
+	}
+	if topo.Node(path[0]) != 4 || topo.Core(path[0]) != 0 {
+		t.Fatalf("first hop %d should be (4,0)", path[0])
+	}
+}
+
+// TestNLNRHopStructure spells out the worked example from Section III-D:
+// (n,c) -> (n, n' mod C) -> (n', n mod C) -> (n', c').
+func TestNLNRHopStructure(t *testing.T) {
+	topo := New(8, 4)
+	src := topo.RankOf(1, 0)
+	dst := topo.RankOf(6, 3)
+	path := topo.Path(NLNR, src, dst)
+	want := []Rank{topo.RankOf(1, 2), topo.RankOf(6, 1), topo.RankOf(6, 3)}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+// TestNLNRShortCircuits: when an intermediary coincides with the source or
+// destination, hops are skipped rather than self-sent.
+func TestNLNRShortCircuits(t *testing.T) {
+	topo := New(8, 4)
+	// Source already sits on the sender-side intermediary core:
+	// src core == dstNode mod C, so the first hop crosses the wire.
+	src := topo.RankOf(1, 2) // dstNode 6 mod 4 = 2
+	dst := topo.RankOf(6, 3)
+	path := topo.Path(NLNR, src, dst)
+	if len(path) != 2 || path[0] != topo.RankOf(6, 1) {
+		t.Fatalf("path = %v, want remote hop first", path)
+	}
+	// Destination is itself the receiver-side intermediary.
+	dst2 := topo.RankOf(6, 1) // 1 == srcNode mod C
+	path2 := topo.Path(NLNR, src, dst2)
+	if path2[len(path2)-1] != dst2 || len(path2) != 1 {
+		t.Fatalf("path = %v, want direct remote delivery", path2)
+	}
+}
+
+// TestNLNRRemoteCrossingsUseChannels: every wire crossing in every NLNR
+// path goes between ranks that are in each other's remote partner sets,
+// i.e. messages only traverse the reduced channel set.
+func TestNLNRRemoteCrossingsUseChannels(t *testing.T) {
+	topo := New(12, 4)
+	for src := Rank(0); int(src) < topo.WorldSize(); src++ {
+		for dst := Rank(0); int(dst) < topo.WorldSize(); dst++ {
+			if src == dst {
+				continue
+			}
+			cur := src
+			for _, hop := range topo.Path(NLNR, src, dst) {
+				if !topo.SameNode(cur, hop) {
+					ok := false
+					for _, p := range topo.RemotePartners(NLNR, cur) {
+						if p == hop {
+							ok = true
+						}
+					}
+					if !ok {
+						t.Fatalf("wire crossing %d->%d is not an NLNR channel", cur, hop)
+					}
+				}
+				cur = hop
+			}
+		}
+	}
+}
+
+// TestPathsDeliverProperty fuzzes larger topologies, including N not a
+// multiple of C (the paper assumes it is, but our implementation must not
+// mis-route in the general case).
+func TestPathsDeliverProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		topo := New(1+rng.Intn(20), 1+rng.Intn(9))
+		s := Schemes[rng.Intn(len(Schemes))]
+		src := Rank(rng.Intn(topo.WorldSize()))
+		dst := Rank(rng.Intn(topo.WorldSize()))
+		if src == dst {
+			continue
+		}
+		path := topo.Path(s, src, dst)
+		if path[len(path)-1] != dst {
+			t.Fatalf("%v %v: %d->%d path %v", topo, s, src, dst, path)
+		}
+	}
+}
+
+func TestSchemeStringRoundTrip(t *testing.T) {
+	for _, s := range Schemes {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Fatal("ParseScheme should reject unknown names")
+	}
+	if Scheme(99).String() == "" {
+		t.Fatal("unknown scheme should still print")
+	}
+}
+
+func TestLocalRanks(t *testing.T) {
+	topo := New(3, 4)
+	got := topo.LocalRanks(topo.RankOf(1, 2))
+	if len(got) != 4 {
+		t.Fatalf("LocalRanks = %v", got)
+	}
+	for c, r := range got {
+		if topo.Node(r) != 1 || topo.Core(r) != c {
+			t.Fatalf("LocalRanks = %v", got)
+		}
+	}
+}
+
+// TestSingleCoreNLNR: with C=1 every node is its own layer slot; NLNR must
+// degrade to direct node-to-node sends without self loops.
+func TestSingleCoreNLNR(t *testing.T) {
+	topo := New(5, 1)
+	for src := Rank(0); int(src) < 5; src++ {
+		for dst := Rank(0); int(dst) < 5; dst++ {
+			if src == dst {
+				continue
+			}
+			path := topo.Path(NLNR, src, dst)
+			if len(path) != 1 || path[0] != dst {
+				t.Fatalf("C=1 NLNR path %d->%d = %v", src, dst, path)
+			}
+		}
+	}
+}
+
+// TestSingleNode: with N=1 all traffic is local under every scheme.
+func TestSingleNode(t *testing.T) {
+	topo := New(1, 8)
+	for _, s := range Schemes {
+		for src := Rank(0); int(src) < 8; src++ {
+			if n := len(topo.RemotePartners(s, src)); n != 0 {
+				t.Fatalf("%v: single node has %d remote partners", s, n)
+			}
+			for dst := Rank(0); int(dst) < 8; dst++ {
+				if src == dst {
+					continue
+				}
+				path := topo.Path(s, src, dst)
+				if len(path) != 1 {
+					t.Fatalf("%v: local path %v", s, path)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package machine
+
+// NextHop returns the next rank a unicast message should be forwarded to
+// under scheme s, given that it is currently held by cur and finally
+// destined for dst. It returns dst itself when the next hop is the final
+// delivery. NextHop encodes the three routing protocols of Section III:
+//
+//	NoRoute:    cur -> dst
+//	NodeLocal:  (n,c) -> (n,c') -> (n',c')   local exchange first
+//	NodeRemote: (n,c) -> (n',c) -> (n',c')   remote exchange first
+//	NLNR:       (n,c) -> (n, n'%C) -> (n', n%C) -> (n',c')
+//
+// Every protocol short-circuits hops that would land on the rank already
+// holding the message, so paths never contain self-sends.
+func (t Topology) NextHop(s Scheme, cur, dst Rank) Rank {
+	if cur == dst {
+		return dst
+	}
+	switch s {
+	case NoRoute:
+		return dst
+	case NodeLocal:
+		if t.SameNode(cur, dst) {
+			return dst
+		}
+		// First align the core offset locally, then cross the wire.
+		if t.Core(cur) == t.Core(dst) {
+			return dst
+		}
+		return t.RankOf(t.Node(cur), t.Core(dst))
+	case NodeRemote:
+		if t.SameNode(cur, dst) {
+			return dst
+		}
+		// Cross the wire on the current core offset, then align locally.
+		hop := t.RankOf(t.Node(dst), t.Core(cur))
+		if hop == cur { // cannot happen: different nodes
+			return dst
+		}
+		return hop
+	case NLNR:
+		if t.SameNode(cur, dst) {
+			return dst
+		}
+		srcNode, dstNode := t.Node(cur), t.Node(dst)
+		if t.Core(cur) == t.LayerOffset(dstNode) {
+			// cur is the sender-side intermediary: remote hop.
+			return t.NLNRRemoteIntermediary(srcNode, dstNode)
+		}
+		// Local hop to the sender-side intermediary.
+		return t.NLNRLocalIntermediary(srcNode, dstNode)
+	}
+	panic("machine: unknown scheme")
+}
+
+// Path returns the complete hop sequence a unicast message takes from src
+// to dst under scheme s, excluding src and including dst. A message
+// delivered without forwarding returns []Rank{dst}. Paths have length at
+// most 2 for NoRoute/NodeLocal/NodeRemote and at most 3 for NLNR,
+// matching the transmission-count analysis in Section III-D.
+func (t Topology) Path(s Scheme, src, dst Rank) []Rank {
+	var path []Rank
+	cur := src
+	for cur != dst {
+		next := t.NextHop(s, cur, dst)
+		path = append(path, next)
+		if len(path) > 4 {
+			panic("machine: routing loop")
+		}
+		cur = next
+	}
+	return path
+}
+
+// MaxHops returns the maximum number of transmissions a unicast message
+// can take under scheme s.
+func MaxHops(s Scheme) int {
+	switch s {
+	case NoRoute:
+		return 1
+	case NodeLocal, NodeRemote:
+		return 2
+	case NLNR:
+		return 3
+	}
+	panic("machine: unknown scheme")
+}

@@ -1,0 +1,168 @@
+// Package spmat provides the sparse-matrix storage the SpMV experiments
+// build on: compressed sparse column (CSC) blocks — the format both the
+// paper's YGM SpMV and its CombBLAS comparator use — plus triplet
+// buffers, a sequential SpMV oracle for validation, and the 2D
+// process-grid arithmetic of the CombBLAS-style baseline.
+package spmat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet is one nonzero entry in coordinate form.
+type Triplet struct {
+	Row, Col uint64
+	Val      float64
+}
+
+// CSC is a compressed-sparse-column matrix over a dense local column
+// index space [0, NumCols) with arbitrary (global) row ids.
+type CSC struct {
+	colPtr []int
+	rows   []uint64
+	vals   []float64
+}
+
+// NewCSC builds a CSC from triplets whose Col fields are local dense
+// column indices in [0, numCols). Triplets may arrive in any order;
+// duplicates are kept (SpMV sums them naturally).
+func NewCSC(numCols int, entries []Triplet) (*CSC, error) {
+	if numCols < 0 {
+		return nil, fmt.Errorf("spmat: negative column count")
+	}
+	counts := make([]int, numCols+1)
+	for _, t := range entries {
+		if t.Col >= uint64(numCols) {
+			return nil, fmt.Errorf("spmat: column %d outside [0,%d)", t.Col, numCols)
+		}
+		counts[t.Col+1]++
+	}
+	for c := 0; c < numCols; c++ {
+		counts[c+1] += counts[c]
+	}
+	m := &CSC{
+		colPtr: counts,
+		rows:   make([]uint64, len(entries)),
+		vals:   make([]float64, len(entries)),
+	}
+	next := make([]int, numCols)
+	copy(next, counts[:numCols])
+	for _, t := range entries {
+		i := next[t.Col]
+		m.rows[i] = t.Row
+		m.vals[i] = t.Val
+		next[t.Col] = i + 1
+	}
+	// Sort rows within each column for deterministic iteration.
+	for c := 0; c < numCols; c++ {
+		lo, hi := m.colPtr[c], m.colPtr[c+1]
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		sort.Slice(idx, func(a, b int) bool { return m.rows[idx[a]] < m.rows[idx[b]] })
+		rs := make([]uint64, hi-lo)
+		vs := make([]float64, hi-lo)
+		for i, j := range idx {
+			rs[i], vs[i] = m.rows[j], m.vals[j]
+		}
+		copy(m.rows[lo:hi], rs)
+		copy(m.vals[lo:hi], vs)
+	}
+	return m, nil
+}
+
+// NumCols returns the local column count.
+func (m *CSC) NumCols() int { return len(m.colPtr) - 1 }
+
+// NNZ returns the number of stored entries.
+func (m *CSC) NNZ() int { return len(m.rows) }
+
+// ForEachInCol calls f for every entry of local column c.
+func (m *CSC) ForEachInCol(c int, f func(row uint64, val float64)) {
+	for i := m.colPtr[c]; i < m.colPtr[c+1]; i++ {
+		f(m.rows[i], m.vals[i])
+	}
+}
+
+// ColNNZ returns the entry count of local column c.
+func (m *CSC) ColNNZ(c int) int { return m.colPtr[c+1] - m.colPtr[c] }
+
+// SpMVSeq computes y = A x for a triplet list with global row/col ids —
+// the sequential oracle used to validate the distributed SpMVs.
+func SpMVSeq(entries []Triplet, x []float64) []float64 {
+	y := make([]float64, len(x))
+	for _, t := range entries {
+		y[t.Row] += t.Val * x[t.Col]
+	}
+	return y
+}
+
+// Grid is a square process grid of R x R ranks, rank (i,j) = i*R + j, as
+// CombBLAS requires for its 2D decomposition.
+type Grid struct {
+	R int
+}
+
+// NewGrid returns the largest square grid fitting worldSize ranks and an
+// error if worldSize is not a perfect square (CombBLAS's constraint; the
+// benchmark picks rank counts that are squares).
+func NewGrid(worldSize int) (Grid, error) {
+	r := 1
+	for (r+1)*(r+1) <= worldSize {
+		r++
+	}
+	if r*r != worldSize {
+		return Grid{}, fmt.Errorf("spmat: world size %d is not a perfect square", worldSize)
+	}
+	return Grid{R: r}, nil
+}
+
+// RowOf returns the grid row of rank.
+func (g Grid) RowOf(rank int) int { return rank / g.R }
+
+// ColOf returns the grid column of rank.
+func (g Grid) ColOf(rank int) int { return rank % g.R }
+
+// RankAt returns the rank at grid position (i, j).
+func (g Grid) RankAt(i, j int) int { return i*g.R + j }
+
+// BlockOwner returns the rank owning matrix entry (row, col) when an
+// n x n matrix is split into R x R contiguous blocks.
+func (g Grid) BlockOwner(row, col, n uint64) int {
+	return g.RankAt(g.blockIndex(row, n), g.blockIndex(col, n))
+}
+
+// BlockRange returns the half-open global index range [lo, hi) of block
+// b along one dimension of an n-sized axis split into R pieces.
+func (g Grid) BlockRange(b int, n uint64) (lo, hi uint64) {
+	r := uint64(g.R)
+	base := n / r
+	rem := n % r
+	lo = uint64(b)*base + min64(uint64(b), rem)
+	size := base
+	if uint64(b) < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func (g Grid) blockIndex(i, n uint64) int {
+	r := uint64(g.R)
+	base := n / r
+	rem := n % r
+	// The first rem blocks have size base+1.
+	cut := rem * (base + 1)
+	if i < cut {
+		return int(i / (base + 1))
+	}
+	return int(rem + (i-cut)/base)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

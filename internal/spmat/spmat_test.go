@@ -1,0 +1,180 @@
+package spmat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCSCBasic(t *testing.T) {
+	// Column 0: rows 2,5; column 1: empty; column 2: row 0.
+	m, err := NewCSC(3, []Triplet{
+		{Row: 5, Col: 0, Val: 2.5},
+		{Row: 0, Col: 2, Val: -1},
+		{Row: 2, Col: 0, Val: 1.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCols() != 3 || m.NNZ() != 3 {
+		t.Fatalf("dims = %d cols, %d nnz", m.NumCols(), m.NNZ())
+	}
+	var rows []uint64
+	var vals []float64
+	m.ForEachInCol(0, func(r uint64, v float64) {
+		rows = append(rows, r)
+		vals = append(vals, v)
+	})
+	if len(rows) != 2 || rows[0] != 2 || rows[1] != 5 || vals[0] != 1.5 || vals[1] != 2.5 {
+		t.Fatalf("col 0 = %v %v (rows must be sorted)", rows, vals)
+	}
+	if m.ColNNZ(1) != 0 || m.ColNNZ(2) != 1 {
+		t.Fatalf("ColNNZ wrong")
+	}
+}
+
+func TestNewCSCRejectsOutOfRange(t *testing.T) {
+	if _, err := NewCSC(2, []Triplet{{Row: 0, Col: 2}}); err == nil {
+		t.Fatal("column out of range accepted")
+	}
+	if _, err := NewCSC(-1, nil); err == nil {
+		t.Fatal("negative column count accepted")
+	}
+}
+
+func TestCSCEmptyMatrix(t *testing.T) {
+	m, err := NewCSC(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCols() != 0 || m.NNZ() != 0 {
+		t.Fatal("empty matrix dims wrong")
+	}
+}
+
+func TestSpMVSeq(t *testing.T) {
+	// A = [[1 2],[0 3]], x = [10, 100] -> y = [210, 300]
+	y := SpMVSeq([]Triplet{
+		{0, 0, 1}, {0, 1, 2}, {1, 1, 3},
+	}, []float64{10, 100})
+	if y[0] != 210 || y[1] != 300 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestSpMVSeqDuplicatesSum(t *testing.T) {
+	y := SpMVSeq([]Triplet{{0, 0, 1}, {0, 0, 2}}, []float64{5})
+	if y[0] != 15 {
+		t.Fatalf("duplicate entries must sum: y = %v", y)
+	}
+}
+
+// TestCSCMatchesSeq: multiplying via CSC iteration equals the triplet
+// oracle on random matrices.
+func TestCSCMatchesSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		nnz := rng.Intn(100)
+		entries := make([]Triplet, nnz)
+		for i := range entries {
+			entries[i] = Triplet{
+				Row: uint64(rng.Intn(n)),
+				Col: uint64(rng.Intn(n)),
+				Val: rng.NormFloat64(),
+			}
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := SpMVSeq(entries, x)
+		m, err := NewCSC(n, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		for c := 0; c < n; c++ {
+			m.ForEachInCol(c, func(row uint64, val float64) {
+				got[row] += val * x[c]
+			})
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: y[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNewGrid(t *testing.T) {
+	for _, tc := range []struct {
+		world, r int
+		ok       bool
+	}{
+		{1, 1, true}, {4, 2, true}, {9, 3, true}, {16, 4, true}, {1024, 32, true},
+		{2, 0, false}, {8, 0, false}, {15, 0, false},
+	} {
+		g, err := NewGrid(tc.world)
+		if tc.ok && (err != nil || g.R != tc.r) {
+			t.Fatalf("NewGrid(%d) = %v, %v", tc.world, g, err)
+		}
+		if !tc.ok && err == nil {
+			t.Fatalf("NewGrid(%d) should fail", tc.world)
+		}
+	}
+}
+
+func TestGridAddressing(t *testing.T) {
+	g := Grid{R: 3}
+	for rank := 0; rank < 9; rank++ {
+		if g.RankAt(g.RowOf(rank), g.ColOf(rank)) != rank {
+			t.Fatalf("grid round trip failed at %d", rank)
+		}
+	}
+}
+
+// TestBlockRangesPartition: block ranges tile [0, n) exactly, and
+// BlockOwner agrees with the ranges.
+func TestBlockRangesPartition(t *testing.T) {
+	f := func(rRaw, nRaw uint16) bool {
+		r := int(rRaw%7) + 1
+		n := uint64(nRaw%500) + uint64(r) // at least one element per block
+		g := Grid{R: r}
+		var expect uint64
+		for b := 0; b < r; b++ {
+			lo, hi := g.BlockRange(b, n)
+			if lo != expect || hi < lo {
+				return false
+			}
+			for i := lo; i < hi; i++ {
+				if g.blockIndex(i, n) != b {
+					return false
+				}
+			}
+			expect = hi
+		}
+		return expect == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockOwnerConsistency(t *testing.T) {
+	g := Grid{R: 4}
+	const n = 37
+	for row := uint64(0); row < n; row++ {
+		for col := uint64(0); col < n; col++ {
+			owner := g.BlockOwner(row, col, n)
+			i, j := g.RowOf(owner), g.ColOf(owner)
+			rlo, rhi := g.BlockRange(i, n)
+			clo, chi := g.BlockRange(j, n)
+			if row < rlo || row >= rhi || col < clo || col >= chi {
+				t.Fatalf("entry (%d,%d) mapped to block (%d,%d) with ranges [%d,%d)x[%d,%d)",
+					row, col, i, j, rlo, rhi, clo, chi)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// packetHeap orders packets by virtual arrival time, breaking ties with
+// the global push sequence so ordering is stable.
+type packetHeap []*Packet
+
+func (h packetHeap) Len() int { return len(h) }
+func (h packetHeap) Less(i, j int) bool {
+	if h[i].Arrive != h[j].Arrive {
+		return h[i].Arrive < h[j].Arrive
+	}
+	return h[i].seq < h[j].seq
+}
+func (h packetHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *packetHeap) Push(x interface{}) { *h = append(*h, x.(*Packet)) }
+func (h *packetHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}
+
+// Inbox is a rank's receive queue: per-tag min-heaps on virtual arrival,
+// guarded by one mutex, with a condition variable for blocking receives.
+// Senders of any rank may push concurrently; only the owning rank pops.
+type Inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[Tag]*packetHeap
+	seq    uint64
+	depth  int
+	// maxDepth tracks the high-water mark of queued packets, a proxy for
+	// the receive-side memory pressure the mailbox capacity bounds.
+	maxDepth int
+}
+
+// NewInbox returns an empty inbox.
+func NewInbox() *Inbox {
+	ib := &Inbox{queues: make(map[Tag]*packetHeap)}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+// Push enqueues p and wakes any blocked receiver.
+func (ib *Inbox) Push(p *Packet) {
+	ib.mu.Lock()
+	p.seq = ib.seq
+	ib.seq++
+	q, ok := ib.queues[p.Tag]
+	if !ok {
+		q = &packetHeap{}
+		ib.queues[p.Tag] = q
+	}
+	heap.Push(q, p)
+	ib.depth++
+	if ib.depth > ib.maxDepth {
+		ib.maxDepth = ib.depth
+	}
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+// WaitPop blocks until a packet with the given tag is present, then
+// removes and returns the one with the earliest virtual arrival.
+func (ib *Inbox) WaitPop(tag Tag) *Packet {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		if q, ok := ib.queues[tag]; ok && q.Len() > 0 {
+			ib.depth--
+			return heap.Pop(q).(*Packet)
+		}
+		ib.cond.Wait()
+	}
+}
+
+// TryPop removes and returns the earliest-arrival packet with the given
+// tag, or nil if none is physically present. It ignores virtual time:
+// callers that are already waiting (mailbox drains) use it and then
+// fast-forward their clock to the packet's arrival.
+func (ib *Inbox) TryPop(tag Tag) *Packet {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if q, ok := ib.queues[tag]; ok && q.Len() > 0 {
+		ib.depth--
+		return heap.Pop(q).(*Packet)
+	}
+	return nil
+}
+
+// TryPopArrived removes and returns the earliest packet with the given
+// tag whose virtual arrival is at or before now. It returns nil if the
+// queue is empty or the earliest packet is still in virtual flight —
+// polling never makes a rank wait.
+func (ib *Inbox) TryPopArrived(tag Tag, now float64) *Packet {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	q, ok := ib.queues[tag]
+	if !ok || q.Len() == 0 || (*q)[0].Arrive > now {
+		return nil
+	}
+	ib.depth--
+	return heap.Pop(q).(*Packet)
+}
+
+// Len returns the number of packets currently queued across all tags.
+func (ib *Inbox) Len() int {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return ib.depth
+}
+
+// LenTag returns the number of packets queued under one tag.
+func (ib *Inbox) LenTag(tag Tag) int {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if q, ok := ib.queues[tag]; ok {
+		return q.Len()
+	}
+	return 0
+}
+
+// MaxDepth returns the historical maximum of queued packets.
+func (ib *Inbox) MaxDepth() int {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return ib.maxDepth
+}

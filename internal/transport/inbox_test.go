@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestInboxPushPopOrder(t *testing.T) {
+	ib := NewInbox()
+	// Push arrivals out of order; pops must come back sorted.
+	for _, a := range []float64{5, 1, 3, 2, 4} {
+		ib.Push(&Packet{Tag: TagUser, Arrive: a})
+	}
+	prev := 0.0
+	for i := 0; i < 5; i++ {
+		p := ib.TryPop(TagUser)
+		if p == nil {
+			t.Fatal("missing packet")
+		}
+		if p.Arrive < prev {
+			t.Fatalf("out of order: %g after %g", p.Arrive, prev)
+		}
+		prev = p.Arrive
+	}
+	if ib.TryPop(TagUser) != nil {
+		t.Fatal("empty inbox should pop nil")
+	}
+}
+
+func TestInboxEqualArrivalIsFIFO(t *testing.T) {
+	ib := NewInbox()
+	for i := 0; i < 10; i++ {
+		ib.Push(&Packet{Tag: TagUser, Arrive: 1.0, Payload: []byte{byte(i)}})
+	}
+	for i := 0; i < 10; i++ {
+		p := ib.TryPop(TagUser)
+		if int(p.Payload[0]) != i {
+			t.Fatalf("tie-break not FIFO: got %d at position %d", p.Payload[0], i)
+		}
+	}
+}
+
+func TestInboxTagIsolation(t *testing.T) {
+	ib := NewInbox()
+	ib.Push(&Packet{Tag: TagUser, Arrive: 1})
+	ib.Push(&Packet{Tag: TagData, Arrive: 2})
+	if ib.LenTag(TagUser) != 1 || ib.LenTag(TagData) != 1 || ib.Len() != 2 {
+		t.Fatal("tag bookkeeping wrong")
+	}
+	if p := ib.TryPop(TagData); p == nil || p.Arrive != 2 {
+		t.Fatalf("TryPop(TagData) = %v", p)
+	}
+	if ib.LenTag(TagUser) != 1 {
+		t.Fatal("popping one tag must not disturb another")
+	}
+	if ib.LenTag(Tag(999)) != 0 {
+		t.Fatal("unknown tag should be empty")
+	}
+}
+
+func TestInboxTryPopArrived(t *testing.T) {
+	ib := NewInbox()
+	ib.Push(&Packet{Tag: TagUser, Arrive: 10})
+	if ib.TryPopArrived(TagUser, 5) != nil {
+		t.Fatal("packet in virtual flight must not be polled")
+	}
+	if p := ib.TryPopArrived(TagUser, 10); p == nil {
+		t.Fatal("packet at exactly now should be polled")
+	}
+}
+
+func TestInboxWaitPopBlocks(t *testing.T) {
+	ib := NewInbox()
+	done := make(chan *Packet)
+	go func() { done <- ib.WaitPop(TagUser) }()
+	ib.Push(&Packet{Tag: TagUser, Arrive: 7})
+	if p := <-done; p.Arrive != 7 {
+		t.Fatalf("WaitPop = %v", p)
+	}
+}
+
+func TestInboxConcurrentPushers(t *testing.T) {
+	ib := NewInbox()
+	const pushers, each = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < pushers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < each; j++ {
+				ib.Push(&Packet{Tag: TagUser, Arrive: rng.Float64()})
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if ib.Len() != pushers*each {
+		t.Fatalf("len = %d", ib.Len())
+	}
+	prev := -1.0
+	for i := 0; i < pushers*each; i++ {
+		p := ib.TryPop(TagUser)
+		if p.Arrive < prev {
+			t.Fatal("pops out of order after concurrent pushes")
+		}
+		prev = p.Arrive
+	}
+	if ib.MaxDepth() != pushers*each {
+		t.Fatalf("max depth = %d", ib.MaxDepth())
+	}
+}

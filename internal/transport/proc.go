@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ygm/internal/machine"
+	"ygm/internal/netsim"
+)
+
+// traceJumps enables stderr tracing of large arrival waits (debug).
+var traceJumps = false
+
+// Proc is the per-rank handle passed to the SPMD body. It bundles the
+// rank's identity, virtual clock, inbox, traffic stats, and a
+// deterministic per-rank random source. A Proc is confined to the
+// goroutine running its rank; it must not be shared.
+type Proc struct {
+	world *World
+	rank  machine.Rank
+	clock netsim.Clock
+	stats Stats
+	rng   *rand.Rand
+
+	computeScale float64
+
+	jumpD      float64
+	jumpSrc    machine.Rank
+	jumpTag    Tag
+	jumpArrive float64
+}
+
+// Rank returns this rank's flat identifier.
+func (p *Proc) Rank() machine.Rank { return p.rank }
+
+// Node returns this rank's node offset.
+func (p *Proc) Node() int { return p.world.topo.Node(p.rank) }
+
+// Core returns this rank's core offset within its node.
+func (p *Proc) Core() int { return p.world.topo.Core(p.rank) }
+
+// Topo returns the cluster topology.
+func (p *Proc) Topo() machine.Topology { return p.world.topo }
+
+// WorldSize returns the total rank count.
+func (p *Proc) WorldSize() int { return p.world.topo.WorldSize() }
+
+// Model returns the network cost model in effect.
+func (p *Proc) Model() *netsim.Model { return &p.world.model }
+
+// Now returns this rank's virtual clock in seconds.
+func (p *Proc) Now() float64 { return p.clock.Now() }
+
+// Stats exposes this rank's traffic counters (read-only use expected).
+func (p *Proc) Stats() *Stats { return &p.stats }
+
+// Rng returns a deterministic per-rank random source seeded from the
+// Config seed and the rank id.
+func (p *Proc) Rng() *rand.Rand { return p.rng }
+
+// Compute advances the virtual clock by d seconds of application work,
+// scaled by any straggler factor configured for this rank.
+func (p *Proc) Compute(d float64) {
+	if d < 0 {
+		panic("transport: negative compute time")
+	}
+	p.clock.Advance(d * p.computeScale)
+}
+
+// ChargeRecvOverhead advances the clock by the model's receive overhead;
+// exposed for layers (like the mailbox) that account per-record costs.
+func (p *Proc) ChargeRecvOverhead() {
+	p.clock.Advance(p.world.model.RecvOverhead)
+}
+
+// Send transmits payload to dst under tag. The sender is charged the send
+// overhead; the packet's virtual arrival is the sender's clock plus the
+// local or remote transfer time from the cost model. Payload ownership
+// transfers to the receiver.
+func (p *Proc) Send(dst machine.Rank, tag Tag, payload []byte) {
+	w := p.world
+	if !w.topo.Valid(dst) {
+		panic(fmt.Sprintf("transport: send to invalid rank %d", dst))
+	}
+	local := w.topo.SameNode(p.rank, dst)
+	p.clock.Advance(w.model.SendOverheadFor(local))
+	var transfer float64
+	if local {
+		transfer = w.model.LocalTransferTime(len(payload))
+	} else {
+		transfer = w.model.RemoteTransferTime(len(payload))
+	}
+	p.stats.recordSend(dst, tag, len(payload), local, w.trackPartners)
+	w.inboxes[dst].Push(&Packet{
+		Src:     p.rank,
+		Tag:     tag,
+		Arrive:  p.clock.Now() + transfer,
+		Payload: payload,
+	})
+}
+
+// Recv blocks until a packet with the given tag arrives, fast-forwards
+// the clock to its virtual arrival (accruing wait time), charges the
+// receive overhead, and returns it.
+func (p *Proc) Recv(tag Tag) *Packet {
+	pkt := p.world.inboxes[p.rank].WaitPop(tag)
+	p.absorb(pkt)
+	return pkt
+}
+
+// Poll returns the earliest packet with the given tag whose virtual
+// arrival is at or before this rank's clock, or nil. Polling never
+// advances the clock past the present (beyond the receive overhead).
+func (p *Proc) Poll(tag Tag) *Packet {
+	pkt := p.world.inboxes[p.rank].TryPopArrived(tag, p.clock.Now())
+	if pkt != nil {
+		p.clock.Advance(p.world.model.RecvOverheadFor(p.world.topo.SameNode(p.rank, pkt.Src)))
+		p.stats.RecvMsgs++
+	}
+	return pkt
+}
+
+// Drain returns the earliest physically present packet with the given
+// tag regardless of virtual arrival, waiting the clock forward to the
+// arrival time, or nil if the inbox holds none. Used by ranks that have
+// declared themselves idle (e.g. inside WaitEmpty).
+func (p *Proc) Drain(tag Tag) *Packet {
+	pkt := p.world.inboxes[p.rank].TryPop(tag)
+	if pkt == nil {
+		return nil
+	}
+	p.absorb(pkt)
+	return pkt
+}
+
+// Pending reports how many packets are physically queued under tag,
+// whether or not they have virtually arrived.
+func (p *Proc) Pending(tag Tag) int {
+	return p.world.inboxes[p.rank].LenTag(tag)
+}
+
+// absorb applies arrival wait and receive overhead accounting for pkt.
+func (p *Proc) absorb(pkt *Packet) {
+	if traceJumps && pkt.Arrive-p.clock.Now() > 50e-6 {
+		fmt.Printf("JUMP rank=%d src=%d tag=%x now=%.3fms arrive=%.3fms size=%d\n",
+			p.rank, pkt.Src, pkt.Tag, p.clock.Now()*1e3, pkt.Arrive*1e3, len(pkt.Payload))
+	}
+	if d := pkt.Arrive - p.clock.Now(); d > p.jumpD {
+		p.jumpD = d
+		p.jumpSrc = pkt.Src
+		p.jumpTag = pkt.Tag
+		p.jumpArrive = pkt.Arrive
+	}
+	p.clock.WaitUntil(pkt.Arrive)
+	p.clock.Advance(p.world.model.RecvOverheadFor(p.world.topo.SameNode(p.rank, pkt.Src)))
+	p.stats.RecvMsgs++
+}
+
+// BigJump reports the packet that caused this rank's largest arrival
+// wait (diagnostic).
+func (p *Proc) BigJump() (src machine.Rank, tag Tag, arrive, d float64) {
+	return p.jumpSrc, p.jumpTag, p.jumpArrive, p.jumpD
+}
+
+// Clock exposes the rank's virtual clock for report assembly.
+func (p *Proc) Clock() *netsim.Clock { return &p.clock }

@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime/debug"
+	"sync"
+
+	"ygm/internal/machine"
+	"ygm/internal/netsim"
+)
+
+// Config describes one SPMD run.
+type Config struct {
+	// Topo is the simulated cluster shape.
+	Topo machine.Topology
+	// Model is the network cost model; zero value defaults to
+	// netsim.Quartz().
+	Model netsim.Model
+	// Seed feeds the deterministic per-rank random sources.
+	Seed int64
+	// TrackPartners enables per-destination send counters (costly on
+	// large runs; used by routing-invariant tests).
+	TrackPartners bool
+	// ComputeScale, when non-nil, returns a multiplier applied to every
+	// Compute call of the given rank. Values > 1 model stragglers — the
+	// imbalance scenario the paper's asynchronous design targets.
+	ComputeScale func(r machine.Rank) float64
+}
+
+// World holds the shared state of a run: one inbox per rank plus the
+// immutable configuration.
+type World struct {
+	topo          machine.Topology
+	model         netsim.Model
+	inboxes       []*Inbox
+	trackPartners bool
+}
+
+// RankReport is one rank's outcome.
+type RankReport struct {
+	Rank  machine.Rank
+	Time  float64 // final virtual clock
+	Busy  float64
+	Wait  float64
+	Stats Stats
+	// MaxInboxDepth is the high-water mark of this rank's receive queue.
+	MaxInboxDepth int
+}
+
+// Report aggregates a run.
+type Report struct {
+	Topo  machine.Topology
+	Ranks []RankReport
+}
+
+// Makespan returns the simulated wall-clock of the run: the maximum final
+// virtual time over all ranks.
+func (r *Report) Makespan() float64 {
+	max := 0.0
+	for _, rr := range r.Ranks {
+		if rr.Time > max {
+			max = rr.Time
+		}
+	}
+	return max
+}
+
+// Totals sums traffic counters over all ranks.
+func (r *Report) Totals() Totals {
+	var t Totals
+	for _, rr := range r.Ranks {
+		t.LocalMsgs += rr.Stats.LocalMsgs
+		t.LocalBytes += rr.Stats.LocalBytes
+		t.RemoteMsgs += rr.Stats.RemoteMsgs
+		t.RemoteBytes += rr.Stats.RemoteBytes
+		t.DataLocalMsgs += rr.Stats.DataLocalMsgs
+		t.DataLocalBytes += rr.Stats.DataLocalBytes
+		t.DataRemoteMsgs += rr.Stats.DataRemoteMsgs
+		t.DataRemoteBytes += rr.Stats.DataRemoteBytes
+	}
+	return t
+}
+
+// Utilization returns aggregate core utilization: total busy time over
+// world-size times makespan. This is the "core utilization" quantity the
+// paper's abstract claims the asynchronous collectives improve.
+func (r *Report) Utilization() float64 {
+	ms := r.Makespan()
+	if ms == 0 {
+		return 1
+	}
+	busy := 0.0
+	for _, rr := range r.Ranks {
+		busy += rr.Busy
+	}
+	return busy / (ms * float64(len(r.Ranks)))
+}
+
+// MaxInboxDepth returns the largest receive-queue depth any rank saw.
+func (r *Report) MaxInboxDepth() int {
+	max := 0
+	for _, rr := range r.Ranks {
+		if rr.MaxInboxDepth > max {
+			max = rr.MaxInboxDepth
+		}
+	}
+	return max
+}
+
+// Run executes body once per rank, each on its own goroutine, and blocks
+// until every rank returns. Any error or panic from a rank aborts the
+// report with a descriptive error (the remaining goroutines are still
+// joined: SPMD bodies are expected to be deadlock-free on error paths
+// only via their own collective discipline, so Run must only be handed
+// bodies that return errors at globally consistent points).
+func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
+	if cfg.Topo.WorldSize() == 0 {
+		return nil, fmt.Errorf("transport: empty topology")
+	}
+	if cfg.Model == (netsim.Model{}) {
+		cfg.Model = netsim.Quartz()
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	size := cfg.Topo.WorldSize()
+	w := &World{
+		topo:          cfg.Topo,
+		model:         cfg.Model,
+		inboxes:       make([]*Inbox, size),
+		trackPartners: cfg.TrackPartners,
+	}
+	for i := range w.inboxes {
+		w.inboxes[i] = NewInbox()
+	}
+
+	report := &Report{Topo: cfg.Topo, Ranks: make([]RankReport, size)}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for i := 0; i < size; i++ {
+		go func(r machine.Rank) {
+			defer wg.Done()
+			p := &Proc{
+				world:        w,
+				rank:         r,
+				rng:          rand.New(rand.NewSource(cfg.Seed*1000003 + int64(r))),
+				computeScale: 1,
+			}
+			if cfg.ComputeScale != nil {
+				if s := cfg.ComputeScale(r); s > 0 {
+					p.computeScale = s
+				}
+			}
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[r] = fmt.Errorf("transport: rank %d panicked: %v\n%s", r, rec, debug.Stack())
+					// A dead rank usually deadlocks its peers (they wait
+					// on its messages); surface the cause immediately
+					// rather than only after every goroutine unwinds.
+					fmt.Fprintf(os.Stderr, "transport: rank %d died: %v\n", r, rec)
+				}
+				report.Ranks[r] = RankReport{
+					Rank:          r,
+					Time:          p.clock.Now(),
+					Busy:          p.clock.Busy(),
+					Wait:          p.clock.Wait(),
+					Stats:         p.stats,
+					MaxInboxDepth: w.inboxes[r].MaxDepth(),
+				}
+			}()
+			errs[r] = body(p)
+		}(machine.Rank(i))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return report, err
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,99 @@
+package transport
+
+import "ygm/internal/machine"
+
+// Stats accumulates one rank's traffic counters. Only the owning rank
+// mutates its Stats; aggregation happens after Run returns.
+type Stats struct {
+	// LocalMsgs / LocalBytes count packets whose endpoints share a node.
+	LocalMsgs  uint64
+	LocalBytes uint64
+	// RemoteMsgs / RemoteBytes count packets that cross the wire.
+	RemoteMsgs  uint64
+	RemoteBytes uint64
+	// Data* counters cover only TagData packets — the mailbox payload
+	// traffic the paper's bandwidth analysis is about — excluding
+	// collective and termination-detection control messages.
+	DataLocalMsgs   uint64
+	DataLocalBytes  uint64
+	DataRemoteMsgs  uint64
+	DataRemoteBytes uint64
+	// RecvMsgs counts packets this rank received (any locality).
+	RecvMsgs uint64
+
+	// partners, when enabled, counts packets sent per destination rank —
+	// used to verify the channel constraints of each routing scheme.
+	partners map[machine.Rank]uint64
+}
+
+// isDataTag reports whether a packet carries mailbox payload traffic:
+// the lazy mailbox's TagData stream, or a non-empty round-matched
+// exchange message (empty round messages are protocol control — the
+// "empty buffers" of Section IV-B — and excluded from payload-traffic
+// statistics, though their overheads still cost simulated time).
+func isDataTag(tag Tag, bytes int) bool {
+	return tag == TagData || (tag >= TagRound && bytes > 0)
+}
+
+// TagRound mirrors ygm's round-exchange tag base (declared here to keep
+// the transport free of an upward dependency).
+const TagRound Tag = 1 << 63
+
+// recordSend updates counters for one outgoing packet.
+func (s *Stats) recordSend(dst machine.Rank, tag Tag, bytes int, local bool, trackPartners bool) {
+	if local {
+		s.LocalMsgs++
+		s.LocalBytes += uint64(bytes)
+		if isDataTag(tag, bytes) {
+			s.DataLocalMsgs++
+			s.DataLocalBytes += uint64(bytes)
+		}
+	} else {
+		s.RemoteMsgs++
+		s.RemoteBytes += uint64(bytes)
+		if isDataTag(tag, bytes) {
+			s.DataRemoteMsgs++
+			s.DataRemoteBytes += uint64(bytes)
+		}
+	}
+	if trackPartners {
+		if s.partners == nil {
+			s.partners = make(map[machine.Rank]uint64)
+		}
+		s.partners[dst]++
+	}
+}
+
+// Partners returns the per-destination packet counts, or nil when partner
+// tracking was disabled in the Config.
+func (s *Stats) Partners() map[machine.Rank]uint64 { return s.partners }
+
+// Totals aggregates traffic counters across ranks.
+type Totals struct {
+	LocalMsgs       uint64
+	LocalBytes      uint64
+	RemoteMsgs      uint64
+	RemoteBytes     uint64
+	DataLocalMsgs   uint64
+	DataLocalBytes  uint64
+	DataRemoteMsgs  uint64
+	DataRemoteBytes uint64
+}
+
+// AvgRemoteMsgBytes returns the mean remote packet size over all traffic.
+func (t Totals) AvgRemoteMsgBytes() float64 {
+	if t.RemoteMsgs == 0 {
+		return 0
+	}
+	return float64(t.RemoteBytes) / float64(t.RemoteMsgs)
+}
+
+// AvgDataRemoteMsgBytes returns the mean remote mailbox-packet size, the
+// quantity the bandwidth-maximization analysis of Section III-E reasons
+// about.
+func (t Totals) AvgDataRemoteMsgBytes() float64 {
+	if t.DataRemoteMsgs == 0 {
+		return 0
+	}
+	return float64(t.DataRemoteBytes) / float64(t.DataRemoteMsgs)
+}

@@ -1,0 +1,30 @@
+// Package ygm is the core of this reproduction: the You've Got Mail
+// pseudo-asynchronous communication layer of Priest, Steil, Sanders and
+// Pearce (IPPS 2019), rebuilt in Go on the simulated-cluster transport.
+//
+// Programs create a Mailbox with a receive callback and a capacity, queue
+// point-to-point messages with Send and broadcasts with SendBcast, and
+// finish with WaitEmpty (or poll TestEmpty). When the mailbox fills, the
+// rank enters a communication context: it flushes its coalescing buffers
+// along the routing scheme's next hops and opportunistically processes
+// arrived messages — without a global barrier, so a slow rank delays only
+// the ranks whose messages route through it.
+//
+// Four routing schemes are provided (Section III of the paper):
+//
+//	NoRoute     direct core-to-core sends (baseline)
+//	NodeLocal   local exchange first, then C per-core-offset remote channels
+//	NodeRemote  remote exchange first, then local delivery
+//	NLNR        local, remote, local; one channel per node pair (layers)
+//
+// Messages between co-located ranks travel through simulated shared
+// memory; off-node hops pay wire costs, so coalescing many small records
+// into few large packets — the point of the routing schemes — shows up
+// directly in simulated time and in the traffic statistics.
+//
+// Termination detection follows the paper's Section IV-B: ranks declare
+// themselves done producing messages, flush (including empty buffers —
+// here, counter reports), and the layer detects global quiescence by a
+// counting consensus: record-hop send and receive totals must balance and
+// stay unchanged over two consecutive global reductions.
+package ygm

@@ -1,0 +1,62 @@
+package ygm_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ygm/internal/machine"
+	"ygm/internal/netsim"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+// Example demonstrates the complete mailbox workflow on a simulated
+// 2-node, 2-core cluster: every rank mails its rank id to rank 0, rank 0
+// answers with an asynchronous broadcast, and WaitEmpty detects global
+// quiescence.
+func Example() {
+	var mu sync.Mutex
+	var log []string
+
+	_, err := transport.Run(transport.Config{
+		Topo:  machine.New(2, 2),
+		Model: netsim.Quartz(),
+	}, func(p *transport.Proc) error {
+		mb := ygm.NewBox(p, func(s ygm.Sender, payload []byte) {
+			mu.Lock()
+			log = append(log, fmt.Sprintf("rank %d got %q", p.Rank(), payload))
+			mu.Unlock()
+			if p.Rank() == 0 && string(payload) != "ack" {
+				s.SendBcast([]byte("ack"))
+			}
+		}, ygm.Options{Scheme: machine.NLNR, Capacity: 16})
+
+		if p.Rank() != 0 {
+			mb.Send(0, []byte(fmt.Sprintf("hello-%d", p.Rank())))
+		}
+		mb.WaitEmpty()
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sort.Strings(log)
+	for _, l := range log {
+		fmt.Println(l)
+	}
+	// Output:
+	// rank 0 got "hello-1"
+	// rank 0 got "hello-2"
+	// rank 0 got "hello-3"
+	// rank 1 got "ack"
+	// rank 1 got "ack"
+	// rank 1 got "ack"
+	// rank 2 got "ack"
+	// rank 2 got "ack"
+	// rank 2 got "ack"
+	// rank 3 got "ack"
+	// rank 3 got "ack"
+	// rank 3 got "ack"
+}

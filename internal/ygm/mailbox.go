@@ -1,0 +1,529 @@
+package ygm
+
+import (
+	"fmt"
+	"sort"
+
+	"ygm/internal/codec"
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+)
+
+// Sender is the messaging surface exposed to receive callbacks: both the
+// asynchronous Mailbox and the ALLTOALLV-backed SyncMailbox implement it,
+// so application handlers work unchanged on either exchange style.
+type Sender interface {
+	// Send queues a point-to-point message for dst.
+	Send(dst machine.Rank, payload []byte)
+	// SendBcast queues a broadcast to every other rank.
+	SendBcast(payload []byte)
+}
+
+// Handler is a mailbox receive callback, invoked once per delivered
+// message. Handlers may call s.Send and s.SendBcast (data-dependent
+// message spawning, as in graph traversals) but must not call WaitEmpty,
+// TestEmpty, or Exchange, and must not retain the payload slice.
+type Handler func(s Sender, payload []byte)
+
+// ExchangeStyle selects how a mailbox realizes the paper's exchanges.
+type ExchangeStyle int
+
+const (
+	// RoundExchange is the paper's protocol: each communication context
+	// is a round of one (possibly empty) message per exchange partner
+	// per stage, letting forwards coalesce with direct traffic. The
+	// production-faithful default.
+	RoundExchange ExchangeStyle = iota
+	// LazyExchange never round-matches: flushes send whatever is
+	// buffered, receives are opportunistic, and termination is purely
+	// the counting consensus. Strictly more asynchronous; supports
+	// TestEmpty polling.
+	LazyExchange
+)
+
+// String names the exchange style.
+func (e ExchangeStyle) String() string {
+	switch e {
+	case RoundExchange:
+		return "round"
+	case LazyExchange:
+		return "lazy"
+	}
+	return fmt.Sprintf("ExchangeStyle(%d)", int(e))
+}
+
+// Options configures a Mailbox.
+type Options struct {
+	// Scheme selects the routing protocol. Default NoRoute.
+	Scheme machine.Scheme
+	// Capacity is the number of queued records that triggers a flush of
+	// all coalescing buffers — the paper's "mailbox size" (its
+	// experiments fix 2^18). Default 1024.
+	Capacity int
+	// PollEvery is how many Sends pass between opportunistic polls of
+	// the inbox (lazy exchange only). Default 8.
+	PollEvery int
+	// Exchange selects the exchange semantics used by NewBox. Default
+	// RoundExchange.
+	Exchange ExchangeStyle
+}
+
+// Box is the mailbox surface the applications program against: queue
+// messages, then wait for global quiescence. Both the round-matched and
+// the lazy mailbox satisfy it.
+type Box interface {
+	Sender
+	// WaitEmpty blocks until global quiescence. Collective.
+	WaitEmpty()
+	// Stats returns the mailbox counters.
+	Stats() Stats
+	// PendingSends reports records queued but not yet exchanged.
+	PendingSends() int
+}
+
+// NewBox constructs the mailbox variant selected by opts.Exchange.
+func NewBox(p *transport.Proc, handler Handler, opts Options) Box {
+	switch opts.Exchange {
+	case LazyExchange:
+		return New(p, handler, opts)
+	case RoundExchange:
+		mb, err := NewRound(p, handler, opts)
+		if err != nil {
+			panic(err) // nil handler or unknown scheme: programming error
+		}
+		return mb
+	}
+	panic(fmt.Sprintf("ygm: unknown exchange style %v", opts.Exchange))
+}
+
+var (
+	_ Box = (*Mailbox)(nil)
+	_ Box = (*RoundMailbox)(nil)
+)
+
+func (o Options) withDefaults() Options {
+	if o.Capacity <= 0 {
+		o.Capacity = 1024
+	}
+	if o.PollEvery <= 0 {
+		o.PollEvery = 8
+	}
+	return o
+}
+
+// Stats counts mailbox-level activity for one rank.
+type Stats struct {
+	// Sends is the number of application point-to-point messages queued.
+	Sends uint64
+	// Broadcasts is the number of SendBcast calls.
+	Broadcasts uint64
+	// Delivered is the number of messages handed to the callback.
+	Delivered uint64
+	// Flushes counts communication-context entries that sent at least
+	// one packet.
+	Flushes uint64
+	// HopsSent / HopsRecv count record transmissions and receptions,
+	// including intermediary forwarding (the termination counters).
+	HopsSent uint64
+	HopsRecv uint64
+	// Generations counts termination-detection rounds (diagnostic).
+	Generations uint64
+	// EmptyRoundMsgs counts the empty exchange messages the
+	// round-matched protocol sends when a rank has nothing for a partner
+	// — the "empty buffers" Section IV-B's termination detection keys
+	// on. Always zero for the lazy mailbox.
+	EmptyRoundMsgs uint64
+}
+
+// Mailbox is the YGM communication endpoint for one rank. It is confined
+// to its rank's goroutine. All ranks of the world must construct their
+// mailbox with identical Options; WaitEmpty is a collective operation.
+type Mailbox struct {
+	p       *transport.Proc
+	opts    Options
+	handler Handler
+	stats   Stats
+
+	// Coalescing buffers, one per next-hop rank currently holding
+	// records. bufOrder keeps hop ranks in first-use order so flushes
+	// are deterministic for a deterministic send sequence.
+	bufs     map[machine.Rank]*codec.Writer
+	bufCount map[machine.Rank]int
+	bufOrder []machine.Rank
+	queued   int
+
+	sinceLastPoll int
+	processing    bool // true while records of a packet are being handled
+
+	term termDetector
+}
+
+// New creates a mailbox on rank p with the given receive handler.
+func New(p *transport.Proc, handler Handler, opts Options) *Mailbox {
+	if handler == nil {
+		panic("ygm: nil handler")
+	}
+	mb := &Mailbox{
+		p:        p,
+		opts:     opts.withDefaults(),
+		handler:  handler,
+		bufs:     make(map[machine.Rank]*codec.Writer),
+		bufCount: make(map[machine.Rank]int),
+	}
+	mb.term.init(p, &mb.stats)
+	return mb
+}
+
+// Proc returns the underlying transport endpoint.
+func (mb *Mailbox) Proc() *transport.Proc { return mb.p }
+
+// Scheme returns the routing scheme in use.
+func (mb *Mailbox) Scheme() machine.Scheme { return mb.opts.Scheme }
+
+// Stats returns a copy of the mailbox counters.
+func (mb *Mailbox) Stats() Stats { return mb.stats }
+
+// Send queues a point-to-point message for dst. If dst is the calling
+// rank the message is delivered synchronously. Queueing may trigger a
+// communication context (flush plus opportunistic receive) when the
+// mailbox reaches capacity.
+func (mb *Mailbox) Send(dst machine.Rank, payload []byte) {
+	if !mb.p.Topo().Valid(dst) {
+		panic(fmt.Sprintf("ygm: send to invalid rank %d", dst))
+	}
+	mb.stats.Sends++
+	if dst == mb.p.Rank() {
+		mb.deliver(payload)
+		return
+	}
+	hop := mb.p.Topo().NextHop(mb.opts.Scheme, mb.p.Rank(), dst)
+	mb.enqueue(hop, kindUnicast, dst, payload)
+	mb.afterQueue()
+}
+
+// SendBcast queues a broadcast of payload to every other rank, routed by
+// the scheme-specific fan-out of Section III (NodeRemote and NLNR use
+// N-1 remote messages; NodeLocal uses C*(N-1); NoRoute sends individual
+// copies). The origin does not deliver to itself.
+func (mb *Mailbox) SendBcast(payload []byte) {
+	mb.stats.Broadcasts++
+	topo := mb.p.Topo()
+	me := mb.p.Rank()
+	node, core := topo.Node(me), topo.Core(me)
+	switch mb.opts.Scheme {
+	case machine.NoRoute:
+		for r := machine.Rank(0); int(r) < topo.WorldSize(); r++ {
+			if r != me {
+				mb.enqueue(r, kindUnicast, r, payload)
+			}
+		}
+	case machine.NodeLocal:
+		// Local fan-out to every other core offset; this rank covers its
+		// own core offset's remote channel directly.
+		for c := 0; c < topo.Cores(); c++ {
+			if c != core {
+				mb.enqueue(topo.RankOf(node, c), kindBcastLocalFanout, machine.Nil, payload)
+			}
+		}
+		for n := 0; n < topo.Nodes(); n++ {
+			if n != node {
+				mb.enqueue(topo.RankOf(n, core), kindBcastDeliver, machine.Nil, payload)
+			}
+		}
+	case machine.NodeRemote:
+		for n := 0; n < topo.Nodes(); n++ {
+			if n != node {
+				mb.enqueue(topo.RankOf(n, core), kindBcastRemoteDistribute, machine.Nil, payload)
+			}
+		}
+		for c := 0; c < topo.Cores(); c++ {
+			if c != core {
+				mb.enqueue(topo.RankOf(node, c), kindBcastDeliver, machine.Nil, payload)
+			}
+		}
+	case machine.NLNR:
+		// Local fan-out cores relay to their residue classes; this rank
+		// covers its own class itself.
+		for c := 0; c < topo.Cores(); c++ {
+			if c != core {
+				mb.enqueue(topo.RankOf(node, c), kindBcastNLNRFanout, machine.Nil, payload)
+			}
+		}
+		mb.nlnrBcastFanout(payload)
+	default:
+		panic("ygm: unknown scheme")
+	}
+	mb.afterQueue()
+}
+
+// nlnrBcastFanout sends the NLNR remote-distribution stage for the
+// calling rank's residue class: one message per other node n' with
+// n' mod C == this core's offset, addressed to core (myNode mod C).
+func (mb *Mailbox) nlnrBcastFanout(payload []byte) {
+	topo := mb.p.Topo()
+	node, core := topo.Node(mb.p.Rank()), topo.Core(mb.p.Rank())
+	for n := core; n < topo.Nodes(); n += topo.Cores() {
+		if n != node {
+			mb.enqueue(topo.NLNRRemoteIntermediary(node, n), kindBcastNLNRDistribute, machine.Nil, payload)
+		}
+	}
+}
+
+// enqueue appends one record to the coalescing buffer for hop.
+func (mb *Mailbox) enqueue(hop machine.Rank, kind recordKind, dst machine.Rank, payload []byte) {
+	if hop == mb.p.Rank() {
+		panic(fmt.Sprintf("ygm: routing produced a self-hop on rank %d", hop))
+	}
+	w, ok := mb.bufs[hop]
+	if !ok {
+		w = codec.NewWriter(recordSize(kind, dst, len(payload)) + 64)
+		mb.bufs[hop] = w
+		mb.bufOrder = append(mb.bufOrder, hop)
+	}
+	appendRecord(w, kind, dst, payload)
+	mb.bufCount[hop]++
+	mb.queued++
+}
+
+// afterQueue runs the capacity check and opportunistic poll that follow
+// any application-level queueing operation.
+func (mb *Mailbox) afterQueue() {
+	if mb.processing {
+		// Forwards spawned while handling a packet are flushed by the
+		// caller once the whole packet is processed.
+		return
+	}
+	if mb.queued >= mb.opts.Capacity {
+		mb.enterCommContext()
+		return
+	}
+	mb.sinceLastPoll++
+	if mb.sinceLastPoll >= mb.opts.PollEvery {
+		mb.sinceLastPoll = 0
+		for mb.pollOnce() {
+		}
+	}
+}
+
+// enterCommContext is the paper's "mailbox full" behaviour: flush all
+// buffers, then process every message that has (virtually) arrived —
+// which may enqueue forwards, which are flushed in turn.
+func (mb *Mailbox) enterCommContext() {
+	mb.flushAll()
+	for mb.pollOnce() {
+		if mb.queued >= mb.opts.Capacity {
+			mb.flushAll()
+		}
+	}
+	mb.flushAll()
+}
+
+// pollOnce processes at most one arrived data packet without waiting.
+// It reports whether a packet was processed.
+func (mb *Mailbox) pollOnce() bool {
+	pkt := mb.p.Poll(transport.TagData)
+	if pkt == nil {
+		return false
+	}
+	mb.processPacket(pkt)
+	return true
+}
+
+// flushAll sends every non-empty coalescing buffer to its hop rank.
+// Buffers are sent in first-use order; each becomes one transport packet.
+func (mb *Mailbox) flushAll() {
+	if mb.queued == 0 {
+		return
+	}
+	sent := false
+	for _, hop := range mb.bufOrder {
+		w := mb.bufs[hop]
+		if w.Len() == 0 {
+			continue
+		}
+		payload := make([]byte, w.Len())
+		copy(payload, w.Bytes())
+		mb.p.Send(hop, transport.TagData, payload)
+		mb.stats.HopsSent += uint64(mb.bufCount[hop])
+		mb.queued -= mb.bufCount[hop]
+		mb.bufCount[hop] = 0
+		w.Reset()
+		sent = true
+	}
+	if sent {
+		mb.stats.Flushes++
+	}
+	if mb.queued != 0 {
+		panic("ygm: queued-record accounting out of balance")
+	}
+	// Reset buffer order occasionally to bound the map for long runs
+	// with shifting destination sets.
+	if len(mb.bufOrder) > 4*mb.p.Topo().Cores()+64 {
+		mb.bufs = make(map[machine.Rank]*codec.Writer)
+		mb.bufCount = make(map[machine.Rank]int)
+		mb.bufOrder = mb.bufOrder[:0]
+	}
+}
+
+// processPacket decodes and dispatches every record in pkt, then flushes
+// any forwards the records generated.
+func (mb *Mailbox) processPacket(pkt *transport.Packet) {
+	mb.processing = true
+	r := codec.NewReader(pkt.Payload)
+	for r.Remaining() > 0 {
+		rec, err := parseRecord(r)
+		if err != nil {
+			panic(fmt.Sprintf("ygm: rank %d corrupt packet from %d: %v", mb.p.Rank(), pkt.Src, err))
+		}
+		mb.stats.HopsRecv++
+		// Per-record handling is a few nanoseconds plus a memcpy; the
+		// per-message overhead was already charged when the packet was
+		// received. Coalescing amortizes exactly this difference.
+		mb.p.Compute(mb.p.Model().RecordHandlingTime(len(rec.payload)))
+		mb.dispatch(rec)
+	}
+	mb.processing = false
+	if mb.queued >= mb.opts.Capacity {
+		mb.flushAll()
+	}
+}
+
+// dispatch delivers or forwards one record according to its kind.
+func (mb *Mailbox) dispatch(rec record) {
+	topo := mb.p.Topo()
+	me := mb.p.Rank()
+	switch rec.kind {
+	case kindUnicast:
+		if rec.dst == me {
+			mb.deliver(rec.payload)
+			return
+		}
+		hop := topo.NextHop(mb.opts.Scheme, me, rec.dst)
+		mb.enqueue(hop, kindUnicast, rec.dst, mb.copyPayload(rec.payload))
+	case kindBcastDeliver:
+		mb.deliver(rec.payload)
+	case kindBcastLocalFanout:
+		mb.deliver(rec.payload)
+		payload := mb.copyPayload(rec.payload)
+		node, core := topo.Node(me), topo.Core(me)
+		for n := 0; n < topo.Nodes(); n++ {
+			if n != node {
+				mb.enqueue(topo.RankOf(n, core), kindBcastDeliver, machine.Nil, payload)
+			}
+		}
+	case kindBcastRemoteDistribute, kindBcastNLNRDistribute:
+		mb.deliver(rec.payload)
+		payload := mb.copyPayload(rec.payload)
+		node, core := topo.Node(me), topo.Core(me)
+		for c := 0; c < topo.Cores(); c++ {
+			if c != core {
+				mb.enqueue(topo.RankOf(node, c), kindBcastDeliver, machine.Nil, payload)
+			}
+		}
+	case kindBcastNLNRFanout:
+		mb.deliver(rec.payload)
+		mb.nlnrBcastFanout(mb.copyPayload(rec.payload))
+	default:
+		panic(fmt.Sprintf("ygm: unknown record kind %d", rec.kind))
+	}
+}
+
+// copyPayload detaches a record payload from its packet buffer so it can
+// be re-encoded into an outgoing coalescing buffer. (Payloads delivered
+// to the handler are *not* copied; handlers must not retain them.)
+func (mb *Mailbox) copyPayload(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// deliver invokes the handler, charging the per-message compute cost.
+func (mb *Mailbox) deliver(payload []byte) {
+	mb.stats.Delivered++
+	mb.p.Compute(mb.p.Model().ComputePerMessage)
+	mb.handler(mb, payload)
+}
+
+// Mailbox and SyncMailbox both satisfy Sender.
+var (
+	_ Sender = (*Mailbox)(nil)
+	_ Sender = (*SyncMailbox)(nil)
+)
+
+// drainAvailable flushes pending buffers, then processes every
+// physically present data packet (fast-forwarding the virtual clock to
+// arrivals), then flushes any forwards the processing spawned. The
+// pending-tail flush comes FIRST — Section IV-B's "YGM flushes its
+// pending send buffers" on entering termination — so tail packets carry
+// the clock of the rank's own work, not of whatever arrivals it happened
+// to absorb first (which would serialize ranks into a virtual-time
+// ratchet).
+func (mb *Mailbox) drainAvailable() {
+	mb.flushAll()
+	for {
+		// Process one wave — the packets physically present right now —
+		// then flush the forwards they generated, so multi-hop routes
+		// pipeline wave by wave instead of buffering a whole drain.
+		n := mb.p.Pending(transport.TagData)
+		if n == 0 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			pkt := mb.p.Drain(transport.TagData)
+			if pkt == nil {
+				break
+			}
+			mb.processPacket(pkt)
+		}
+		mb.flushAll()
+	}
+}
+
+// WaitEmpty flushes pending buffers and blocks until every rank's
+// mailbox is globally quiet: all buffers flushed, all record hops
+// received, and no new activity between two consecutive global counts
+// (Section IV-B). It is a collective operation: every rank must call it,
+// and all ranks return during the same detection generation. The mailbox
+// remains usable afterwards.
+func (mb *Mailbox) WaitEmpty() {
+	for {
+		mb.drainAvailable()
+		if mb.term.step(true) {
+			mb.term.reset()
+			return
+		}
+	}
+}
+
+// TestEmpty makes nonblocking progress on termination detection and
+// reports whether global quiescence has been established. Callers that
+// maintain external work queues (the HavoqGT pattern) call it in a loop,
+// interleaving their own work; once any rank observes true, every rank
+// will observe true for the same generation. After returning true the
+// detector resets and the mailbox can be reused.
+func (mb *Mailbox) TestEmpty() bool {
+	mb.drainAvailable()
+	if mb.term.step(false) {
+		mb.term.reset()
+		return true
+	}
+	return false
+}
+
+// PendingSends returns the number of records currently queued in
+// coalescing buffers (diagnostic).
+func (mb *Mailbox) PendingSends() int { return mb.queued }
+
+// Flush forces the communication context to run even if the mailbox is
+// below capacity (exposed for tests and latency-sensitive callers).
+func (mb *Mailbox) Flush() { mb.enterCommContext() }
+
+// sortedHops returns buffered hop ranks in ascending order (test helper).
+func (mb *Mailbox) sortedHops() []machine.Rank {
+	hops := make([]machine.Rank, 0, len(mb.bufs))
+	for h := range mb.bufs {
+		hops = append(hops, h)
+	}
+	sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
+	return hops
+}

@@ -1,0 +1,421 @@
+package ygm
+
+import (
+	"fmt"
+	"runtime"
+
+	"ygm/internal/codec"
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+)
+
+// roundTrace enables debug tracing of exchange rounds.
+var roundTrace = false
+
+// TagRound is the base transport tag of round-matched exchange traffic
+// (mirrored as transport.TagRound for traffic classification); the
+// epoch, stage index, and round number are folded into the tag so
+// receives match exactly.
+const TagRound = transport.TagRound
+
+// roundTag folds the epoch (completed WaitEmpty count), stage, and round
+// into one transport tag, so receives match exactly and — critically —
+// a rank still concluding epoch e never consumes or joins traffic of
+// epoch e+1 sent by ranks that already observed the termination verdict
+// and moved on to the next application phase.
+func roundTag(epoch uint64, stage int, round uint64) transport.Tag {
+	return TagRound |
+		transport.Tag(epoch&0xFFFFF)<<43 |
+		transport.Tag(stage&0x7)<<40 |
+		transport.Tag(round&0xFFFFFFFFFF)
+}
+
+// RoundMailbox is the round-matched interpretation of the paper's
+// exchanges (Sections III-A and IV-B): each communication context is a
+// *round* in which the rank sends exactly one — possibly empty — message
+// to every partner of every exchange stage and receives exactly one from
+// each. Rounds let an intermediary bundle the records it forwards with
+// the records it originates for the same destination in one message (the
+// coalescing the lazy-forwarding Mailbox cannot do across flush
+// boundaries), at the price of coupling: a rank entering a round waits
+// for each of its partners to enter it too, and one rank's
+// capacity-triggered round transitively obliges the whole (connected)
+// channel graph to run a round, empty buffers included — which is
+// exactly the "empty message buffers are sent by all ranks" behaviour
+// the paper's termination detection keys on.
+//
+// RoundMailbox shares the Sender interface and record formats with
+// Mailbox and SyncMailbox. WaitEmpty is collective; TestEmpty is not
+// provided (external-queue polling belongs to the asynchronous Mailbox).
+type RoundMailbox struct {
+	p       *transport.Proc
+	opts    Options
+	handler Handler
+	stats   Stats
+
+	stages []roundStage
+	round  uint64 // next round to execute
+	epoch  uint64 // completed WaitEmpty cycles
+	// queued counts records awaiting a round, across generations.
+	queued int
+	// inRoundStage is the stage currently being processed (-1 outside a
+	// round); records dispatched to stages <= it wait for the next round.
+	inRoundStage int
+
+	term termDetector
+}
+
+// roundStage is one exchange phase with its fixed partner set.
+type roundStage struct {
+	local    bool
+	partners []machine.Rank
+	// cur / next hold per-partner record buffers for the round being
+	// assembled and the following one.
+	cur, next map[machine.Rank]*roundBuf
+}
+
+type roundBuf struct {
+	w     codec.Writer
+	count int
+}
+
+// NewRound builds a round-matched mailbox. Collective: all ranks must
+// construct one with identical Options before exchanging.
+func NewRound(p *transport.Proc, handler Handler, opts Options) (*RoundMailbox, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("ygm: nil handler")
+	}
+	mb := &RoundMailbox{
+		p:            p,
+		opts:         opts.withDefaults(),
+		handler:      handler,
+		inRoundStage: -1,
+	}
+	topo := p.Topo()
+	me := p.Rank()
+	locals := func() []machine.Rank {
+		var out []machine.Rank
+		for _, r := range topo.LocalRanks(me) {
+			if r != me {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	remotes := topo.RemotePartners(mb.opts.Scheme, me)
+	switch mb.opts.Scheme {
+	case machine.NoRoute:
+		var all []machine.Rank
+		for r := machine.Rank(0); int(r) < topo.WorldSize(); r++ {
+			if r != me {
+				all = append(all, r)
+			}
+		}
+		mb.stages = []roundStage{{partners: all}}
+	case machine.NodeLocal:
+		mb.stages = []roundStage{
+			{local: true, partners: locals()},
+			{partners: remotes},
+		}
+	case machine.NodeRemote:
+		mb.stages = []roundStage{
+			{partners: remotes},
+			{local: true, partners: locals()},
+		}
+	case machine.NLNR:
+		mb.stages = []roundStage{
+			{local: true, partners: locals()},
+			{partners: remotes},
+			{local: true, partners: locals()},
+		}
+	default:
+		return nil, fmt.Errorf("ygm: unknown scheme %v", mb.opts.Scheme)
+	}
+	for s := range mb.stages {
+		mb.stages[s].cur = make(map[machine.Rank]*roundBuf)
+		mb.stages[s].next = make(map[machine.Rank]*roundBuf)
+	}
+	mb.term.init(p, &mb.stats)
+	return mb, nil
+}
+
+// Stats returns a copy of the mailbox counters.
+func (mb *RoundMailbox) Stats() Stats { return mb.stats }
+
+// PendingSends reports records queued for upcoming rounds.
+func (mb *RoundMailbox) PendingSends() int { return mb.queued }
+
+// Send queues a point-to-point message; self-sends deliver immediately.
+// Reaching the mailbox capacity triggers a full exchange round.
+func (mb *RoundMailbox) Send(dst machine.Rank, payload []byte) {
+	if !mb.p.Topo().Valid(dst) {
+		panic(fmt.Sprintf("ygm: send to invalid rank %d", dst))
+	}
+	mb.stats.Sends++
+	if dst == mb.p.Rank() {
+		mb.deliver(payload)
+		return
+	}
+	hop := mb.p.Topo().NextHop(mb.opts.Scheme, mb.p.Rank(), dst)
+	mb.enqueue(hop, kindUnicast, dst, payload)
+	mb.maybeRound()
+}
+
+// SendBcast queues a broadcast with the scheme fan-out shared with the
+// other mailbox variants.
+func (mb *RoundMailbox) SendBcast(payload []byte) {
+	mb.stats.Broadcasts++
+	topo := mb.p.Topo()
+	me := mb.p.Rank()
+	node, core := topo.Node(me), topo.Core(me)
+	switch mb.opts.Scheme {
+	case machine.NoRoute:
+		for r := machine.Rank(0); int(r) < topo.WorldSize(); r++ {
+			if r != me {
+				mb.enqueue(r, kindUnicast, r, payload)
+			}
+		}
+	case machine.NodeLocal:
+		for c := 0; c < topo.Cores(); c++ {
+			if c != core {
+				mb.enqueue(topo.RankOf(node, c), kindBcastLocalFanout, machine.Nil, payload)
+			}
+		}
+		for n := 0; n < topo.Nodes(); n++ {
+			if n != node {
+				mb.enqueue(topo.RankOf(n, core), kindBcastDeliver, machine.Nil, payload)
+			}
+		}
+	case machine.NodeRemote:
+		for n := 0; n < topo.Nodes(); n++ {
+			if n != node {
+				mb.enqueue(topo.RankOf(n, core), kindBcastRemoteDistribute, machine.Nil, payload)
+			}
+		}
+		for c := 0; c < topo.Cores(); c++ {
+			if c != core {
+				mb.enqueue(topo.RankOf(node, c), kindBcastDeliver, machine.Nil, payload)
+			}
+		}
+	case machine.NLNR:
+		for c := 0; c < topo.Cores(); c++ {
+			if c != core {
+				mb.enqueue(topo.RankOf(node, c), kindBcastNLNRFanout, machine.Nil, payload)
+			}
+		}
+		mb.nlnrFanout(payload)
+	}
+	mb.maybeRound()
+}
+
+func (mb *RoundMailbox) nlnrFanout(payload []byte) {
+	topo := mb.p.Topo()
+	node, core := topo.Node(mb.p.Rank()), topo.Core(mb.p.Rank())
+	for n := core; n < topo.Nodes(); n += topo.Cores() {
+		if n != node {
+			mb.enqueue(topo.NLNRRemoteIntermediary(node, n), kindBcastNLNRDistribute, machine.Nil, payload)
+		}
+	}
+}
+
+// stageOf returns the index of the first stage after `after` whose
+// locality matches hop, or -1 if none remains in the current round.
+func (mb *RoundMailbox) stageOf(hop machine.Rank, after int) int {
+	local := mb.p.Topo().SameNode(mb.p.Rank(), hop)
+	for s := after + 1; s < len(mb.stages); s++ {
+		if mb.stages[s].local == local || mb.opts.Scheme == machine.NoRoute {
+			return s
+		}
+	}
+	return -1
+}
+
+// enqueue places one record into the correct stage buffer: the earliest
+// remaining stage of the current round if one can still carry it,
+// otherwise the earliest stage of the next round.
+func (mb *RoundMailbox) enqueue(hop machine.Rank, kind recordKind, dst machine.Rank, payload []byte) {
+	if hop == mb.p.Rank() {
+		panic("ygm: routing produced a self-hop")
+	}
+	s := mb.stageOf(hop, mb.inRoundStage)
+	nextRound := false
+	if s < 0 {
+		s = mb.stageOf(hop, -1)
+		nextRound = true
+		if s < 0 {
+			panic(fmt.Sprintf("ygm: no stage carries hop %d under %v", hop, mb.opts.Scheme))
+		}
+	}
+	st := &mb.stages[s]
+	bufs := st.cur
+	if nextRound {
+		bufs = st.next
+	}
+	b := bufs[hop]
+	if b == nil {
+		b = &roundBuf{}
+		bufs[hop] = b
+	}
+	appendRecord(&b.w, kind, dst, payload)
+	b.count++
+	mb.queued++
+}
+
+// maybeRound runs exchange rounds while the queue exceeds capacity.
+func (mb *RoundMailbox) maybeRound() {
+	for mb.inRoundStage < 0 && mb.queued >= mb.opts.Capacity {
+		mb.executeRound()
+	}
+}
+
+// executeRound performs one full exchange round: for every stage in
+// order, send one (possibly empty) message to each partner, then receive
+// exactly one from each and process its records. Records forwarded to a
+// later stage travel in this same round — the bundling that gives the
+// routed schemes their message counts.
+func (mb *RoundMailbox) executeRound() {
+	r := mb.round
+	mb.round++
+	if roundTrace {
+		fmt.Printf("ROUND rank=%d begin r=%d queued=%d\n", mb.p.Rank(), r, mb.queued)
+	}
+	sentAny := false
+	for s := range mb.stages {
+		mb.inRoundStage = s
+		if roundTrace {
+			fmt.Printf("ROUND rank=%d r=%d stage=%d\n", mb.p.Rank(), r, s)
+		}
+		st := &mb.stages[s]
+		tag := roundTag(mb.epoch, s, r)
+		for _, partner := range st.partners {
+			var payload []byte
+			if b := st.cur[partner]; b != nil {
+				payload = make([]byte, b.w.Len())
+				copy(payload, b.w.Bytes())
+				mb.stats.HopsSent += uint64(b.count)
+				mb.queued -= b.count
+				sentAny = true
+				delete(st.cur, partner)
+			} else {
+				mb.stats.EmptyRoundMsgs++
+			}
+			mb.p.Send(partner, tag, payload)
+		}
+		if len(st.cur) != 0 {
+			panic("ygm: round stage left records for a non-partner")
+		}
+		for range st.partners {
+			pkt := mb.p.Recv(tag)
+			rd := codec.NewReader(pkt.Payload)
+			for rd.Remaining() > 0 {
+				rec, err := parseRecord(rd)
+				if err != nil {
+					panic(fmt.Sprintf("ygm: corrupt round payload: %v", err))
+				}
+				mb.stats.HopsRecv++
+				mb.p.Compute(mb.p.Model().RecordHandlingTime(len(rec.payload)))
+				mb.dispatch(rec)
+			}
+		}
+	}
+	mb.inRoundStage = -1
+	if roundTrace {
+		fmt.Printf("ROUND rank=%d end r=%d queued=%d\n", mb.p.Rank(), r, mb.queued)
+	}
+	// Promote next-round buffers.
+	for s := range mb.stages {
+		st := &mb.stages[s]
+		st.cur, st.next = st.next, st.cur
+	}
+	if sentAny {
+		mb.stats.Flushes++
+	}
+}
+
+// dispatch delivers or requeues one received record (shared semantics
+// with the other mailbox variants).
+func (mb *RoundMailbox) dispatch(rec record) {
+	topo := mb.p.Topo()
+	me := mb.p.Rank()
+	detach := func(b []byte) []byte {
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out
+	}
+	switch rec.kind {
+	case kindUnicast:
+		if rec.dst == me {
+			mb.deliver(rec.payload)
+			return
+		}
+		mb.enqueue(topo.NextHop(mb.opts.Scheme, me, rec.dst), kindUnicast, rec.dst, detach(rec.payload))
+	case kindBcastDeliver:
+		mb.deliver(rec.payload)
+	case kindBcastLocalFanout:
+		mb.deliver(rec.payload)
+		payload := detach(rec.payload)
+		node, core := topo.Node(me), topo.Core(me)
+		for n := 0; n < topo.Nodes(); n++ {
+			if n != node {
+				mb.enqueue(topo.RankOf(n, core), kindBcastDeliver, machine.Nil, payload)
+			}
+		}
+	case kindBcastRemoteDistribute, kindBcastNLNRDistribute:
+		mb.deliver(rec.payload)
+		payload := detach(rec.payload)
+		node, core := topo.Node(me), topo.Core(me)
+		for c := 0; c < topo.Cores(); c++ {
+			if c != core {
+				mb.enqueue(topo.RankOf(node, c), kindBcastDeliver, machine.Nil, payload)
+			}
+		}
+	case kindBcastNLNRFanout:
+		mb.deliver(rec.payload)
+		mb.nlnrFanout(detach(rec.payload))
+	default:
+		panic(fmt.Sprintf("ygm: unknown record kind %d", rec.kind))
+	}
+}
+
+func (mb *RoundMailbox) deliver(payload []byte) {
+	mb.stats.Delivered++
+	mb.p.Compute(mb.p.Model().ComputePerMessage)
+	mb.handler(mb, payload)
+}
+
+// roundTrafficPending reports whether any partner has initiated the
+// upcoming round (its stage messages are waiting in our inbox).
+func (mb *RoundMailbox) roundTrafficPending() bool {
+	for s := range mb.stages {
+		if mb.p.Pending(roundTag(mb.epoch, s, mb.round)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WaitEmpty drives rounds (with empty buffers when this rank has nothing
+// to say — the paper's Section IV-B behaviour) until the counting
+// consensus observes global quiescence. Collective: every rank must call
+// it, and all return together. The mailbox is reusable afterwards.
+func (mb *RoundMailbox) WaitEmpty() {
+	for {
+		for mb.queued > 0 || mb.roundTrafficPending() {
+			mb.executeRound()
+		}
+		if mb.term.step(false) {
+			mb.term.reset()
+			// Epoch boundary: quiescence means no rounds of this epoch
+			// remain in flight, so traffic seen from here on belongs to
+			// the next application phase.
+			mb.epoch++
+			return
+		}
+		if mb.queued == 0 && !mb.roundTrafficPending() {
+			// Idle: let peers progress on the shared host CPU.
+			runtime.Gosched()
+		}
+	}
+}
+
+var _ Sender = (*RoundMailbox)(nil)

@@ -1,0 +1,448 @@
+package ygm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ygm/internal/machine"
+	"ygm/internal/netsim"
+	"ygm/internal/transport"
+)
+
+func runRoundMailbox(t *testing.T, nodes, cores int, opts Options, handler func(p *transport.Proc) Handler,
+	body func(p *transport.Proc, mb *RoundMailbox) error) *transport.Report {
+	t.Helper()
+	rep, err := transport.Run(transport.Config{
+		Topo:  machine.New(nodes, cores),
+		Model: netsim.Quartz(),
+		Seed:  11,
+	}, func(p *transport.Proc) error {
+		mb, err := NewRound(p, handler(p), opts)
+		if err != nil {
+			return err
+		}
+		return body(p, mb)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRoundNewValidation(t *testing.T) {
+	_, err := transport.Run(transport.Config{Topo: machine.New(1, 1)}, func(p *transport.Proc) error {
+		if _, err := NewRound(p, nil, Options{}); err == nil {
+			return fmt.Errorf("nil handler accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundAllToAllDelivery: the all-to-all workload delivers exactly
+// once under every scheme through round-matched exchanges.
+func TestRoundAllToAllDelivery(t *testing.T) {
+	for _, scheme := range machine.Schemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			cs := newCounterState()
+			runRoundMailbox(t, 4, 3, Options{Scheme: scheme, Capacity: 8},
+				func(p *transport.Proc) Handler {
+					return func(s Sender, payload []byte) {
+						cs.record(p.Rank(), decodeU64(payload))
+					}
+				},
+				func(p *transport.Proc, mb *RoundMailbox) error {
+					me := uint64(p.Rank())
+					for dst := 0; dst < p.WorldSize(); dst++ {
+						if dst != int(p.Rank()) {
+							mb.Send(machine.Rank(dst), encodeU64(me*1000+uint64(dst)))
+						}
+					}
+					mb.WaitEmpty()
+					return nil
+				})
+			for r := 0; r < 12; r++ {
+				got := cs.delivered[machine.Rank(r)]
+				if len(got) != 11 {
+					t.Fatalf("%v: rank %d delivered %d, want 11", scheme, r, len(got))
+				}
+				seen := map[uint64]bool{}
+				for _, v := range got {
+					if int(v%1000) != r || seen[v] {
+						t.Fatalf("%v: rank %d deliveries %v", scheme, r, got)
+					}
+					seen[v] = true
+				}
+			}
+		})
+	}
+}
+
+// TestRoundBroadcast: broadcast fan-out semantics carry over.
+func TestRoundBroadcast(t *testing.T) {
+	for _, scheme := range machine.Schemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			cs := newCounterState()
+			runRoundMailbox(t, 4, 4, Options{Scheme: scheme},
+				func(p *transport.Proc) Handler {
+					return func(s Sender, payload []byte) { cs.record(p.Rank(), decodeU64(payload)) }
+				},
+				func(p *transport.Proc, mb *RoundMailbox) error {
+					if p.Rank() == 5 {
+						mb.SendBcast(encodeU64(42))
+					}
+					mb.WaitEmpty()
+					return nil
+				})
+			for r := 0; r < 16; r++ {
+				got := cs.delivered[machine.Rank(r)]
+				if r == 5 {
+					if len(got) != 0 {
+						t.Fatalf("origin delivered to itself")
+					}
+					continue
+				}
+				if len(got) != 1 || got[0] != 42 {
+					t.Fatalf("%v: rank %d got %v", scheme, r, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRoundHandlerSpawns: the message chain across ranks and rounds.
+func TestRoundHandlerSpawns(t *testing.T) {
+	for _, scheme := range machine.Schemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			cs := newCounterState()
+			runRoundMailbox(t, 3, 2, Options{Scheme: scheme},
+				func(p *transport.Proc) Handler {
+					return func(s Sender, payload []byte) {
+						v := decodeU64(payload)
+						cs.record(p.Rank(), v)
+						if next := int(p.Rank()) + 1; next < p.WorldSize() {
+							s.Send(machine.Rank(next), encodeU64(v+1))
+						}
+					}
+				},
+				func(p *transport.Proc, mb *RoundMailbox) error {
+					if p.Rank() == 0 {
+						mb.Send(1, encodeU64(100))
+					}
+					mb.WaitEmpty()
+					return nil
+				})
+			for r := 1; r < 6; r++ {
+				got := cs.delivered[machine.Rank(r)]
+				if len(got) != 1 || got[0] != uint64(99+r) {
+					t.Fatalf("%v: rank %d got %v", scheme, r, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRoundCoalescesForwards is the point of the round-matched design:
+// under NodeLocal, an intermediary's forwarded records and the direct
+// same-core-offset records must share messages, giving (nearly) the same
+// remote packet count as NodeRemote on a symmetric workload — the
+// NodeLocal ≈ NodeRemote equivalence of Fig. 6 that the lazy-forwarding
+// Mailbox cannot reproduce.
+func TestRoundCoalescesForwards(t *testing.T) {
+	const nodes, cores, msgs = 4, 4, 256
+	count := func(scheme machine.Scheme, round bool) uint64 {
+		handler := func(p *transport.Proc) Handler {
+			return func(s Sender, payload []byte) {}
+		}
+		body := func(p *transport.Proc, send func(machine.Rank, []byte), wait func()) {
+			rng := p.Rng()
+			for i := 0; i < msgs; i++ {
+				send(machine.Rank(rng.Intn(p.WorldSize())), encodeU64(uint64(i)))
+			}
+			wait()
+		}
+		opts := Options{Scheme: scheme, Capacity: 1 << 16}
+		var rep *transport.Report
+		if round {
+			rep = runRoundMailbox(t, nodes, cores, opts, handler,
+				func(p *transport.Proc, mb *RoundMailbox) error {
+					body(p, mb.Send, mb.WaitEmpty)
+					return nil
+				})
+		} else {
+			rep = runMailbox(t, nodes, cores, opts, handler,
+				func(p *transport.Proc, mb *Mailbox) error {
+					body(p, mb.Send, mb.WaitEmpty)
+					return nil
+				})
+		}
+		tot := rep.Totals()
+		if round {
+			// Round traffic uses TagRound, counted in the general
+			// remote counters; exclude termination-detection packets by
+			// construction impossible, so compare nonempty remote data:
+			// use all remote packets with nonzero payload? Totals lack
+			// that split; remote packet counts still dominate by data.
+			return tot.RemoteMsgs
+		}
+		return tot.DataRemoteMsgs
+	}
+	lazyLocal := count(machine.NodeLocal, false)
+	lazyRemote := count(machine.NodeRemote, false)
+	roundLocal := count(machine.NodeLocal, true)
+	roundRemote := count(machine.NodeRemote, true)
+	// Lazy forwarding: NodeLocal ships roughly 2x NodeRemote's packets.
+	if float64(lazyLocal) < 1.4*float64(lazyRemote) {
+		t.Fatalf("expected lazy NodeLocal to under-coalesce: %d vs %d", lazyLocal, lazyRemote)
+	}
+	// Round-matched: parity (each rank sends one message per remote
+	// partner per round under both schemes).
+	ratio := float64(roundLocal) / float64(roundRemote)
+	if ratio > 1.25 || ratio < 0.8 {
+		t.Fatalf("round-matched NodeLocal/NodeRemote packet ratio = %.2f (%d vs %d), want ~1",
+			ratio, roundLocal, roundRemote)
+	}
+}
+
+// TestRoundCapacityTriggersRounds: exceeding capacity runs exchange
+// rounds mid-computation, bounding queued records.
+func TestRoundCapacityTriggersRounds(t *testing.T) {
+	cs := newCounterState()
+	runRoundMailbox(t, 2, 2, Options{Scheme: machine.NodeRemote, Capacity: 8},
+		func(p *transport.Proc) Handler {
+			return func(s Sender, payload []byte) { cs.record(p.Rank(), decodeU64(payload)) }
+		},
+		func(p *transport.Proc, mb *RoundMailbox) error {
+			for i := 0; i < 40; i++ {
+				mb.Send(machine.Rank((int(p.Rank())+1)%4), encodeU64(uint64(i)))
+				if mb.PendingSends() > 8+1 {
+					return fmt.Errorf("queue grew past capacity: %d", mb.PendingSends())
+				}
+			}
+			mb.WaitEmpty()
+			if st := mb.Stats(); st.Flushes == 0 {
+				return fmt.Errorf("no rounds ran")
+			}
+			return nil
+		})
+	for r := 0; r < 4; r++ {
+		if len(cs.delivered[machine.Rank(r)]) != 40 {
+			t.Fatalf("rank %d delivered %d", r, len(cs.delivered[machine.Rank(r)]))
+		}
+	}
+}
+
+// TestRoundMatchesAsyncDelivery: identical workloads produce identical
+// delivery multisets through the lazy and round-matched mailboxes.
+func TestRoundMatchesAsyncDelivery(t *testing.T) {
+	workload := func(send func(machine.Rank, []byte), bcast func([]byte), p *transport.Proc) {
+		rng := p.Rng()
+		for i := 0; i < 60; i++ {
+			if rng.Intn(12) == 0 {
+				bcast(encodeU64(uint64(1000 + i)))
+			} else {
+				send(machine.Rank(rng.Intn(p.WorldSize())), encodeU64(uint64(i)))
+			}
+		}
+	}
+	collect := func(round bool) map[machine.Rank][]uint64 {
+		cs := newCounterState()
+		handler := func(p *transport.Proc) Handler {
+			return func(s Sender, payload []byte) { cs.record(p.Rank(), decodeU64(payload)) }
+		}
+		opts := Options{Scheme: machine.NLNR, Capacity: 16}
+		if round {
+			runRoundMailbox(t, 3, 3, opts, handler, func(p *transport.Proc, mb *RoundMailbox) error {
+				workload(mb.Send, mb.SendBcast, p)
+				mb.WaitEmpty()
+				return nil
+			})
+		} else {
+			runMailbox(t, 3, 3, opts, handler, func(p *transport.Proc, mb *Mailbox) error {
+				workload(mb.Send, mb.SendBcast, p)
+				mb.WaitEmpty()
+				return nil
+			})
+		}
+		return cs.delivered
+	}
+	a, b := collect(false), collect(true)
+	for r := machine.Rank(0); r < 9; r++ {
+		counts := map[uint64]int{}
+		for _, v := range a[r] {
+			counts[v]++
+		}
+		for _, v := range b[r] {
+			counts[v]--
+		}
+		for v, c := range counts {
+			if c != 0 {
+				t.Fatalf("rank %d differs at value %d (%+d)", r, v, c)
+			}
+		}
+	}
+}
+
+// TestRoundReusable: WaitEmpty cycles on one round mailbox.
+func TestRoundReusable(t *testing.T) {
+	var mu sync.Mutex
+	total := 0
+	runRoundMailbox(t, 2, 2, Options{Scheme: machine.NLNR},
+		func(p *transport.Proc) Handler {
+			return func(s Sender, payload []byte) {
+				mu.Lock()
+				total++
+				mu.Unlock()
+			}
+		},
+		func(p *transport.Proc, mb *RoundMailbox) error {
+			for phase := 0; phase < 3; phase++ {
+				mb.Send(machine.Rank((int(p.Rank())+1)%4), encodeU64(uint64(phase)))
+				mb.WaitEmpty()
+			}
+			return nil
+		})
+	if total != 12 {
+		t.Fatalf("delivered %d, want 12", total)
+	}
+}
+
+// TestRoundEpochIsolation is the regression test for cross-phase message
+// leakage: ranks exit WaitEmpty at different real times, and a fast rank
+// immediately starts the next phase's exchanges. A slow rank still
+// concluding the previous WaitEmpty must not join those rounds (its
+// handler would observe phase-k+1 messages while the application is in
+// phase k — exactly the failure the GraphBLAS layer hit). Epoch-tagged
+// rounds pin the fix: every delivery must carry the receiver's current
+// phase.
+func TestRoundEpochIsolation(t *testing.T) {
+	const phases = 6
+	_, err := transport.Run(transport.Config{
+		Topo:  machine.New(2, 2),
+		Model: netsim.Quartz(),
+		Seed:  29,
+	}, func(p *transport.Proc) error {
+		phase := uint64(0)
+		var mb *RoundMailbox
+		var phaseErr error
+		mb, errNew := NewRound(p, func(s Sender, payload []byte) {
+			if got := decodeU64(payload); got != phase && phaseErr == nil {
+				phaseErr = fmt.Errorf("rank %d in phase %d received phase-%d message",
+					p.Rank(), phase, got)
+			}
+		}, Options{Scheme: machine.NLNR, Capacity: 4})
+		if errNew != nil {
+			return errNew
+		}
+		for ; phase < phases; phase++ {
+			// Rank parity staggers work so exit times differ; everyone
+			// sends the current phase number to everyone else.
+			if int(phase)%2 == int(p.Rank())%2 {
+				p.Compute(50e-6)
+			}
+			for dst := 0; dst < p.WorldSize(); dst++ {
+				if dst != int(p.Rank()) {
+					mb.Send(machine.Rank(dst), encodeU64(phase))
+				}
+			}
+			mb.WaitEmpty()
+			if phaseErr != nil {
+				return phaseErr
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundEmptyBuffers: a rank with nothing to say still participates
+// in rounds with empty messages — the Section IV-B behaviour ("YGM
+// flushes its pending send buffers, including empty buffers").
+func TestRoundEmptyBuffers(t *testing.T) {
+	var mu sync.Mutex
+	var empties uint64
+	runRoundMailbox(t, 2, 2, Options{Scheme: machine.NodeRemote, Capacity: 4},
+		func(p *transport.Proc) Handler {
+			return func(s Sender, payload []byte) {}
+		},
+		func(p *transport.Proc, mb *RoundMailbox) error {
+			// Only rank 0 sends; everyone else's round participation is
+			// pure empty-buffer service.
+			if p.Rank() == 0 {
+				for i := 0; i < 16; i++ {
+					mb.Send(3, encodeU64(uint64(i)))
+				}
+			}
+			mb.WaitEmpty()
+			mu.Lock()
+			empties += mb.Stats().EmptyRoundMsgs
+			mu.Unlock()
+			return nil
+		})
+	if empties == 0 {
+		t.Fatal("idle ranks should have sent empty round buffers")
+	}
+}
+
+// TestRoundRandomTrafficProperty: across random topologies, schemes, and
+// capacities, the round-matched mailbox conserves messages exactly:
+// delivered == unicasts + bcasts*(P-1), with hop counters balanced.
+func TestRoundRandomTrafficProperty(t *testing.T) {
+	shapes := []struct{ nodes, cores int }{{1, 1}, {3, 1}, {1, 4}, {2, 3}, {3, 3}, {5, 2}}
+	for trial := 0; trial < 6; trial++ {
+		scheme := machine.Schemes[trial%len(machine.Schemes)]
+		shape := shapes[trial%len(shapes)]
+		capacity := 4 << (trial % 4)
+		var mu sync.Mutex
+		var delivered, unicasts, bcasts uint64
+		var hopsSent, hopsRecv uint64
+		runRoundMailbox(t, shape.nodes, shape.cores, Options{Scheme: scheme, Capacity: capacity},
+			func(p *transport.Proc) Handler {
+				return func(s Sender, payload []byte) {
+					mu.Lock()
+					delivered++
+					mu.Unlock()
+				}
+			},
+			func(p *transport.Proc, mb *RoundMailbox) error {
+				rng := p.Rng()
+				myU, myB := uint64(0), uint64(0)
+				for i := 0; i < 50+10*trial; i++ {
+					if rng.Intn(9) == 0 {
+						mb.SendBcast(encodeU64(uint64(i)))
+						myB++
+					} else {
+						mb.Send(machine.Rank(rng.Intn(p.WorldSize())), encodeU64(uint64(i)))
+						myU++
+					}
+				}
+				mb.WaitEmpty()
+				st := mb.Stats()
+				mu.Lock()
+				unicasts += myU
+				bcasts += myB
+				hopsSent += st.HopsSent
+				hopsRecv += st.HopsRecv
+				mu.Unlock()
+				return nil
+			})
+		world := uint64(shape.nodes * shape.cores)
+		want := unicasts + bcasts*(world-1)
+		if delivered != want {
+			t.Fatalf("trial %d (%v, %dx%d, cap %d): delivered %d, want %d",
+				trial, scheme, shape.nodes, shape.cores, capacity, delivered, want)
+		}
+		if hopsSent != hopsRecv {
+			t.Fatalf("trial %d: hop counters unbalanced after WaitEmpty: %d vs %d",
+				trial, hopsSent, hopsRecv)
+		}
+	}
+}

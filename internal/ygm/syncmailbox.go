@@ -1,0 +1,355 @@
+package ygm
+
+import (
+	"fmt"
+	"sort"
+
+	"ygm/internal/codec"
+	"ygm/internal/collective"
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+)
+
+// SyncMailbox is the ALLTOALLV-backed variant of the mailbox that
+// Section III-A describes: the same routing schemes, but each exchange
+// phase is realized as a synchronous collective over the phase's
+// communicator (the whole node for local exchanges, the core-offset or
+// NLNR-channel group for remote ones). On machines with heavily
+// optimized ALLTOALL implementations — the paper names IBM BG/Q
+// Sequoia — this traded asynchronicity for better bandwidth utilization.
+//
+// Unlike Mailbox, Send only queues: nothing moves until every rank calls
+// Exchange (a collective), making the programming model bulk-synchronous.
+// ExchangeUntilQuiet repeats exchanges until no rank holds undelivered
+// records, the synchronous analogue of WaitEmpty.
+type SyncMailbox struct {
+	p       *transport.Proc
+	opts    Options
+	handler Handler
+	stats   Stats
+
+	world *collective.Comm
+	// stages is the exchange-phase sequence for the routing scheme;
+	// each stage carries the communicator it exchanges over.
+	stages []syncStage
+
+	// queue holds records awaiting their next hop.
+	queue []syncRecord
+}
+
+// syncStage is one exchange phase.
+type syncStage struct {
+	comm *collective.Comm
+	// local is true for shared-memory phases: the stage moves records
+	// whose next hop is on this node; remote stages move the rest.
+	local bool
+	// all marks the NoRoute world exchange, which moves every queued
+	// record regardless of hop locality.
+	all bool
+}
+
+// syncRecord is one queued record with its precomputed next hop.
+type syncRecord struct {
+	hop     machine.Rank
+	kind    recordKind
+	dst     machine.Rank // unicast only
+	payload []byte
+}
+
+// NewSync builds a synchronous mailbox. It is collective: every rank
+// must construct one with identical Options before any exchange.
+func NewSync(p *transport.Proc, handler Handler, opts Options) (*SyncMailbox, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("ygm: nil handler")
+	}
+	mb := &SyncMailbox{
+		p:       p,
+		opts:    opts.withDefaults(),
+		handler: handler,
+		world:   collective.World(p),
+	}
+	topo := p.Topo()
+	me := p.Rank()
+
+	localComm := func() (*collective.Comm, error) {
+		return collective.New(p, topo.LocalRanks(me))
+	}
+	coreComm := func() (*collective.Comm, error) {
+		ranks := make([]machine.Rank, topo.Nodes())
+		for n := 0; n < topo.Nodes(); n++ {
+			ranks[n] = topo.RankOf(n, topo.Core(me))
+		}
+		return collective.New(p, ranks)
+	}
+	// The NLNR channel of (n,c) pairs residue class (n mod C) at core c
+	// with residue class c at core (n mod C); see Section III-D. Members
+	// reach the same channel from both sides ((l,c) and (c,l) name the
+	// same set), so the list is sorted to give every member an identical
+	// communicator order.
+	nlnrComm := func() (*collective.Comm, error) {
+		l, c := topo.LayerOffset(topo.Node(me)), topo.Core(me)
+		seen := map[machine.Rank]bool{}
+		var ranks []machine.Rank
+		add := func(r machine.Rank) {
+			if !seen[r] {
+				seen[r] = true
+				ranks = append(ranks, r)
+			}
+		}
+		for n := l; n < topo.Nodes(); n += topo.Cores() {
+			add(topo.RankOf(n, c))
+		}
+		for n := c; n < topo.Nodes(); n += topo.Cores() {
+			add(topo.RankOf(n, l))
+		}
+		sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+		return collective.New(p, ranks)
+	}
+
+	push := func(local bool, mk func() (*collective.Comm, error)) error {
+		comm, err := mk()
+		if err != nil {
+			return err
+		}
+		mb.stages = append(mb.stages, syncStage{comm: comm, local: local})
+		return nil
+	}
+	var err error
+	switch mb.opts.Scheme {
+	case machine.NoRoute:
+		mb.stages = append(mb.stages, syncStage{comm: mb.world, all: true})
+	case machine.NodeLocal:
+		if err = push(true, localComm); err == nil {
+			err = push(false, coreComm)
+		}
+	case machine.NodeRemote:
+		if err = push(false, coreComm); err == nil {
+			err = push(true, localComm)
+		}
+	case machine.NLNR:
+		if err = push(true, localComm); err == nil {
+			if err = push(false, nlnrComm); err == nil {
+				err = push(true, localComm)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("ygm: unknown scheme %v", mb.opts.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return mb, nil
+}
+
+// Stats returns a copy of the mailbox counters.
+func (mb *SyncMailbox) Stats() Stats { return mb.stats }
+
+// PendingSends reports queued, not-yet-exchanged records.
+func (mb *SyncMailbox) PendingSends() int { return len(mb.queue) }
+
+// Send queues a point-to-point message. Self-sends deliver immediately.
+func (mb *SyncMailbox) Send(dst machine.Rank, payload []byte) {
+	if !mb.p.Topo().Valid(dst) {
+		panic(fmt.Sprintf("ygm: send to invalid rank %d", dst))
+	}
+	mb.stats.Sends++
+	if dst == mb.p.Rank() {
+		mb.deliver(payload)
+		return
+	}
+	hop := mb.p.Topo().NextHop(mb.opts.Scheme, mb.p.Rank(), dst)
+	mb.push(hop, kindUnicast, dst, payload)
+}
+
+// SendBcast queues a broadcast using the scheme's fan-out (identical
+// record kinds and hop structure to the asynchronous Mailbox).
+func (mb *SyncMailbox) SendBcast(payload []byte) {
+	mb.stats.Broadcasts++
+	topo := mb.p.Topo()
+	me := mb.p.Rank()
+	node, core := topo.Node(me), topo.Core(me)
+	switch mb.opts.Scheme {
+	case machine.NoRoute:
+		for r := machine.Rank(0); int(r) < topo.WorldSize(); r++ {
+			if r != me {
+				mb.push(r, kindUnicast, r, payload)
+			}
+		}
+	case machine.NodeLocal:
+		for c := 0; c < topo.Cores(); c++ {
+			if c != core {
+				mb.push(topo.RankOf(node, c), kindBcastLocalFanout, machine.Nil, payload)
+			}
+		}
+		for n := 0; n < topo.Nodes(); n++ {
+			if n != node {
+				mb.push(topo.RankOf(n, core), kindBcastDeliver, machine.Nil, payload)
+			}
+		}
+	case machine.NodeRemote:
+		for n := 0; n < topo.Nodes(); n++ {
+			if n != node {
+				mb.push(topo.RankOf(n, core), kindBcastRemoteDistribute, machine.Nil, payload)
+			}
+		}
+		for c := 0; c < topo.Cores(); c++ {
+			if c != core {
+				mb.push(topo.RankOf(node, c), kindBcastDeliver, machine.Nil, payload)
+			}
+		}
+	case machine.NLNR:
+		for c := 0; c < topo.Cores(); c++ {
+			if c != core {
+				mb.push(topo.RankOf(node, c), kindBcastNLNRFanout, machine.Nil, payload)
+			}
+		}
+		mb.nlnrFanout(payload)
+	}
+}
+
+// nlnrFanout queues this rank's NLNR remote-distribution records.
+func (mb *SyncMailbox) nlnrFanout(payload []byte) {
+	topo := mb.p.Topo()
+	node, core := topo.Node(mb.p.Rank()), topo.Core(mb.p.Rank())
+	for n := core; n < topo.Nodes(); n += topo.Cores() {
+		if n != node {
+			mb.push(topo.NLNRRemoteIntermediary(node, n), kindBcastNLNRDistribute, machine.Nil, payload)
+		}
+	}
+}
+
+func (mb *SyncMailbox) push(hop machine.Rank, kind recordKind, dst machine.Rank, payload []byte) {
+	if hop == mb.p.Rank() {
+		panic("ygm: routing produced a self-hop")
+	}
+	mb.queue = append(mb.queue, syncRecord{hop: hop, kind: kind, dst: dst, payload: payload})
+}
+
+func (mb *SyncMailbox) deliver(payload []byte) {
+	mb.stats.Delivered++
+	mb.p.Compute(mb.p.Model().ComputePerMessage)
+	mb.handler(mb, payload)
+}
+
+// Exchange runs one full routing round: every stage of the scheme, each
+// as a synchronous collective exchange. It is collective over the whole
+// world — all ranks must call it together — and delivers every record
+// queued before the call (records spawned by handlers during delivery
+// wait for the next Exchange). The coupling of each phase to its slowest
+// participant is exactly what the asynchronous Mailbox avoids.
+func (mb *SyncMailbox) Exchange() {
+	for _, st := range mb.stages {
+		mb.runStage(st)
+	}
+}
+
+// runStage exchanges the queued records whose next hop matches the
+// stage's locality through one Alltoallv over the stage communicator.
+func (mb *SyncMailbox) runStage(st syncStage) {
+	topo := mb.p.Topo()
+	me := mb.p.Rank()
+	writers := make(map[machine.Rank]*codec.Writer)
+	var keep []syncRecord
+	moved := 0
+	for _, rec := range mb.queue {
+		if !st.all && topo.SameNode(me, rec.hop) != st.local {
+			keep = append(keep, rec)
+			continue
+		}
+		w := writers[rec.hop]
+		if w == nil {
+			w = &codec.Writer{}
+			writers[rec.hop] = w
+		}
+		appendRecord(w, rec.kind, rec.dst, rec.payload)
+		moved++
+	}
+	mb.queue = keep
+	mb.stats.HopsSent += uint64(moved)
+
+	payloads := make([][]byte, st.comm.Size())
+	for i, r := range st.comm.Ranks() {
+		if w := writers[r]; w != nil {
+			payloads[i] = w.Bytes()
+			delete(writers, r)
+		}
+	}
+	if len(writers) > 0 {
+		panic("ygm: sync exchange record outside stage communicator")
+	}
+	if moved > 0 {
+		mb.stats.Flushes++
+	}
+	for src, blob := range st.comm.Alltoallv(payloads) {
+		if src == st.comm.Index() || len(blob) == 0 {
+			continue
+		}
+		r := codec.NewReader(blob)
+		for r.Remaining() > 0 {
+			rec, err := parseRecord(r)
+			if err != nil {
+				panic(fmt.Sprintf("ygm: corrupt sync exchange payload: %v", err))
+			}
+			mb.stats.HopsRecv++
+			mb.p.Compute(mb.p.Model().RecordHandlingTime(len(rec.payload)))
+			mb.dispatch(rec)
+		}
+	}
+}
+
+// dispatch delivers or requeues one received record.
+func (mb *SyncMailbox) dispatch(rec record) {
+	topo := mb.p.Topo()
+	me := mb.p.Rank()
+	detach := func(b []byte) []byte {
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out
+	}
+	switch rec.kind {
+	case kindUnicast:
+		if rec.dst == me {
+			mb.deliver(rec.payload)
+			return
+		}
+		mb.push(topo.NextHop(mb.opts.Scheme, me, rec.dst), kindUnicast, rec.dst, detach(rec.payload))
+	case kindBcastDeliver:
+		mb.deliver(rec.payload)
+	case kindBcastLocalFanout:
+		mb.deliver(rec.payload)
+		payload := detach(rec.payload)
+		node, core := topo.Node(me), topo.Core(me)
+		for n := 0; n < topo.Nodes(); n++ {
+			if n != node {
+				mb.push(topo.RankOf(n, core), kindBcastDeliver, machine.Nil, payload)
+			}
+		}
+	case kindBcastRemoteDistribute, kindBcastNLNRDistribute:
+		mb.deliver(rec.payload)
+		payload := detach(rec.payload)
+		node, core := topo.Node(me), topo.Core(me)
+		for c := 0; c < topo.Cores(); c++ {
+			if c != core {
+				mb.push(topo.RankOf(node, c), kindBcastDeliver, machine.Nil, payload)
+			}
+		}
+	case kindBcastNLNRFanout:
+		mb.deliver(rec.payload)
+		mb.nlnrFanout(detach(rec.payload))
+	default:
+		panic(fmt.Sprintf("ygm: unknown record kind %d", rec.kind))
+	}
+}
+
+// ExchangeUntilQuiet repeats Exchange until no rank holds queued
+// records — the bulk-synchronous analogue of WaitEmpty. Collective.
+func (mb *SyncMailbox) ExchangeUntilQuiet() {
+	for {
+		mb.Exchange()
+		pending := mb.world.AllreduceU64(
+			[]uint64{uint64(len(mb.queue))}, collective.SumU64)[0]
+		if pending == 0 {
+			return
+		}
+	}
+}
