@@ -1,0 +1,107 @@
+// Command ygmvet runs the repository's static-analysis suite
+// (internal/analyzers) over the whole module. It is stdlib-only: no
+// go/packages, no x/tools — the module is parsed and type-checked with
+// go/parser and go/types directly.
+//
+// Usage:
+//
+//	go run ./cmd/ygmvet ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error. The only
+// accepted package pattern is "./..." (the suite is whole-module by
+// design); with no arguments "./..." is implied.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ygm/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	tags := flag.String("tags", "", "comma-separated build tags to apply while loading (e.g. ygmcheck)")
+	dir := flag.String("C", ".", "module root directory (must contain go.mod)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ygmvet [-tags taglist] [-C dir] [./...]\n\nAnalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	for _, arg := range flag.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "ygmvet: unsupported package pattern %q (the suite is whole-module; use ./... or no argument)\n", arg)
+			return 2
+		}
+	}
+
+	root, err := moduleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ygmvet: %v\n", err)
+		return 2
+	}
+
+	var tagList []string
+	for _, t := range strings.Split(*tags, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tagList = append(tagList, t)
+		}
+	}
+
+	loader, err := analyzers.NewLoader(root, tagList...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ygmvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ygmvet: %v\n", err)
+		return 2
+	}
+
+	findings := analyzers.Run(pkgs, pkgs, analyzers.All(), analyzers.DefaultScope)
+	for _, f := range findings {
+		fmt.Println(relativize(f, root))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ygmvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks upward from dir to the directory containing go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// relativize prints a finding with its filename relative to the module
+// root, matching go vet's output style.
+func relativize(f analyzers.Finding, root string) string {
+	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}

@@ -1,0 +1,235 @@
+// Package analyzers is ygmvet's static-analysis suite: whole-module
+// checks, built only on the standard library's go/ast, go/parser,
+// go/token and go/types, for the correctness rules no compiler enforces.
+//
+// The simulation's validity rests on protocol-level invariants: ranks
+// advance virtual clocks only (wall-clock reads would couple simulated
+// time to host scheduling), all randomness flows from seeded per-rank
+// sources (EXPERIMENTS.md reproducibility), codec decode errors must not
+// be dropped (silent corruption), and mailbox receive callbacks must
+// never block on collectives (the classic self-deadlock the transport
+// watchdog catches only at runtime). Each analyzer machine-checks one of
+// these rules on every build; `go run ./cmd/ygmvet ./...` is wired into
+// CI.
+//
+// Findings on a line can be suppressed with a `//ygmvet:ignore name`
+// comment on the same line or the line above (names comma-separated, or
+// empty to suppress every analyzer); use sparingly and say why.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats a finding the way go vet does.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Pass is the per-package unit of work handed to an analyzer.
+type Pass struct {
+	Pkg *Package
+	// All holds every loaded package, for cross-package call-graph
+	// walks.
+	All []*Package
+	// Index resolves function objects to their declarations anywhere in
+	// the loaded module.
+	Index *FuncIndex
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) []Finding
+}
+
+// All returns the full analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, Seedrand, Codecerr, Blockincallback}
+}
+
+// simulatedRankPkgs are the packages whose code runs on simulated ranks,
+// where only virtual time is legal. Harness code (cmd, examples, bench
+// drivers) measures host time legitimately.
+var simulatedRankPkgs = map[string]bool{
+	"ygm/internal/transport":  true,
+	"ygm/internal/ygm":        true,
+	"ygm/internal/collective": true,
+	"ygm/internal/apps":       true,
+	"ygm/internal/havoq":      true,
+}
+
+// DefaultScope is the production rule→package mapping used by cmd/ygmvet
+// and the repo-clean test: wallclock applies only to simulated-rank
+// packages, every other analyzer applies module-wide.
+func DefaultScope(analyzer, pkgPath string) bool {
+	if analyzer == Wallclock.Name {
+		return simulatedRankPkgs[pkgPath]
+	}
+	return true
+}
+
+// Run applies each analyzer to each package its scope admits, filters
+// suppressed findings, and returns the remainder sorted by position.
+// scope may be nil to run everything everywhere.
+func Run(pkgs []*Package, all []*Package, analyzers []*Analyzer, scope func(analyzer, pkgPath string) bool) []Finding {
+	index := NewFuncIndex(all)
+	var findings []Finding
+	for _, pkg := range pkgs {
+		pass := &Pass{Pkg: pkg, All: all, Index: index}
+		sup := suppressions(pkg)
+		for _, a := range analyzers {
+			if scope != nil && !scope(a.Name, pkg.Path) {
+				continue
+			}
+			for _, f := range a.Run(pass) {
+				if !sup.match(f) {
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// suppressed records, per file and line, which analyzers are silenced.
+type suppressed struct {
+	// byLine maps file:line to silenced analyzer names; the empty name
+	// silences all.
+	byLine map[string]map[string]bool
+}
+
+func (s suppressed) match(f Finding) bool {
+	for _, key := range []string{
+		fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line),
+	} {
+		if names, ok := s.byLine[key]; ok {
+			if names[""] || names[f.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// suppressions scans a package's comments for ygmvet:ignore directives.
+// A directive applies to its own line and to the line below it, so both
+// trailing (`code //ygmvet:ignore name`) and leading placement work.
+func suppressions(pkg *Package) suppressed {
+	s := suppressed{byLine: make(map[string]map[string]bool)}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "ygmvet:ignore")
+				if !ok {
+					continue
+				}
+				// Drop any trailing justification after a dash.
+				for _, sep := range []string{"—", "--", " - "} {
+					if i := strings.Index(rest, sep); i >= 0 {
+						rest = rest[:i]
+					}
+				}
+				names := make(map[string]bool)
+				fields := strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+				if len(fields) == 0 {
+					names[""] = true
+				}
+				for _, f := range fields {
+					names[f] = true
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					if s.byLine[key] == nil {
+						s.byLine[key] = make(map[string]bool)
+					}
+					for n := range names {
+						s.byLine[key][n] = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// FuncIndex maps function and method objects to their declarations
+// across every loaded package, so analyzers can walk call graphs.
+type FuncIndex struct {
+	decls map[types.Object]*IndexedFunc
+}
+
+// IndexedFunc is one declared function with its owning package.
+type IndexedFunc struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// NewFuncIndex builds the declaration index over pkgs.
+func NewFuncIndex(pkgs []*Package) *FuncIndex {
+	idx := &FuncIndex{decls: make(map[types.Object]*IndexedFunc)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+						idx.decls[obj] = &IndexedFunc{Pkg: pkg, Decl: fd}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Lookup returns the declaration of fn, or nil if it is not declared in
+// the loaded module (stdlib, interface method, etc.).
+func (idx *FuncIndex) Lookup(fn *types.Func) *IndexedFunc {
+	return idx.decls[fn]
+}
+
+// calleeOf resolves the static callee of a call expression using the
+// package's type info, or nil for dynamic calls (function values,
+// immediately-invoked literals, builtins).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

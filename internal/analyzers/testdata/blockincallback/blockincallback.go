@@ -1,0 +1,52 @@
+// Package blockincallbackfixture exercises the blockincallback
+// analyzer: blocking primitives reached from mailbox receive callbacks
+// — directly, through helpers, via Handler-typed variables and
+// conversions — are flagged; handlers that only send are not.
+package blockincallbackfixture
+
+import (
+	"ygm/internal/collective"
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+func direct(p *transport.Proc, opts ygm.Options) {
+	var outer *ygm.Mailbox
+	outer = ygm.New(p, func(s ygm.Sender, payload []byte) {
+		outer.WaitEmpty() // want `WaitEmpty waits for global mailbox quiescence`
+	}, opts)
+	_ = outer
+}
+
+func transitive(p *transport.Proc, c *collective.Comm, opts ygm.Options) {
+	_ = ygm.New(p, func(s ygm.Sender, payload []byte) {
+		drain(c)
+	}, opts)
+}
+
+func drain(c *collective.Comm) {
+	c.Barrier() // want `Barrier is a blocking collective`
+}
+
+// stored roots the walk through a Handler-typed variable.
+var stored ygm.Handler = blocky
+
+func blocky(s ygm.Sender, payload []byte) {
+	recvHelper(nil)
+}
+
+func recvHelper(p *transport.Proc) {
+	p.Recv(transport.TagUser) // want `Recv blocks until a packet arrives`
+}
+
+// converted roots the walk through an explicit Handler conversion.
+func converted() ygm.Handler {
+	return ygm.Handler(blocky)
+}
+
+func clean(p *transport.Proc, opts ygm.Options) {
+	_ = ygm.New(p, func(s ygm.Sender, payload []byte) {
+		s.Send(machine.Rank(0), payload) // spawning sends from a handler is the supported pattern
+	}, opts)
+}

@@ -1,0 +1,20 @@
+// Package codecerrfixture exercises the codecerr analyzer: codec calls
+// whose error result is discarded by an expression statement are
+// flagged; checked calls and error-free Writer methods are not.
+package codecerrfixture
+
+import "ygm/internal/codec"
+
+func bad(r *codec.Reader, m codec.Unmarshaler) {
+	r.Uint64()     // want `result of codec Uint64 is discarded`
+	r.Uvarint()    // want `result of codec Uvarint is discarded`
+	r.Unmarshal(m) // want `result of codec Unmarshal is discarded`
+}
+
+func good(r *codec.Reader, w *codec.Writer) (uint64, error) {
+	w.Uint64(7) // Writer methods return nothing: nothing to drop
+	if _, err := r.Uvarint(); err != nil {
+		return 0, err
+	}
+	return r.Uint64()
+}

@@ -1,0 +1,20 @@
+// Package seedrandfixture exercises the seedrand analyzer: draws from
+// the process-global math/rand source are flagged, seeded-source
+// construction and methods on an explicit *rand.Rand are not.
+package seedrandfixture
+
+import "math/rand"
+
+func bad(vals []int) int {
+	rand.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] }) // want `rand\.Shuffle draws from the process-global source`
+	if rand.Float64() < 0.5 {                                                       // want `rand\.Float64 draws from the process-global source`
+		return rand.Intn(10) // want `rand\.Intn draws from the process-global source`
+	}
+	return 0
+}
+
+func good(seed int64, vals []int) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	return rng.Float64()
+}

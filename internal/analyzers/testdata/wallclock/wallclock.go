@@ -1,0 +1,26 @@
+// Package wallclockfixture exercises the wallclock analyzer: host-clock
+// reads and waits are flagged, duration arithmetic and suppressed lines
+// are not.
+package wallclockfixture
+
+import "time"
+
+// tick is pure duration arithmetic: no clock is observed.
+const tick = 5 * time.Millisecond
+
+func bad() time.Duration {
+	start := time.Now()    // want `wall-clock time\.Now in simulated-rank code`
+	time.Sleep(tick)       // want `wall-clock time\.Sleep in simulated-rank code`
+	ch := time.After(tick) // want `wall-clock time\.After in simulated-rank code`
+	<-ch
+	return time.Since(start) // want `wall-clock time\.Since in simulated-rank code`
+}
+
+func suppressed() {
+	time.Sleep(tick) //ygmvet:ignore wallclock — fixture: the directive must silence this line
+}
+
+func suppressedAbove() {
+	//ygmvet:ignore wallclock — fixture: the directive must silence the next line
+	time.Sleep(tick)
+}

@@ -1,0 +1,13 @@
+//go:build !ygmcheck
+
+package transport
+
+// ygmcheckEnabled reports whether the runtime invariant layer is compiled
+// in. This is the default build: all checks compile to no-ops.
+const ygmcheckEnabled = false
+
+func checkf(bool, string, ...any) {}
+
+func (ib *Inbox) verify(Tag) {}
+
+func (p *Proc) checkClockMonotone() {}

@@ -1,0 +1,49 @@
+//go:build ygmcheck
+
+package transport
+
+import "fmt"
+
+// ygmcheckEnabled reports whether the runtime invariant layer is compiled
+// in (`go test -tags ygmcheck ./...`). The no-op twin lives in
+// check_noop.go.
+const ygmcheckEnabled = true
+
+// checkf panics with a descriptive ygmcheck message when cond is false.
+func checkf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("ygmcheck: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// verify asserts the inbox's structural invariants for one tag: the
+// per-tag queue is a valid min-heap on (Arrive, seq) — so pops always
+// yield the earliest virtual arrival among physically present packets —
+// and the cached depth equals the sum of all queue lengths. Callers hold
+// ib.mu.
+func (ib *Inbox) verify(tag Tag) {
+	if q, ok := ib.queues[tag]; ok {
+		h := *q
+		for i := 1; i < len(h); i++ {
+			parent := (i - 1) / 2
+			checkf(!h.Less(i, parent),
+				"inbox heap order violated for tag %d: index %d (arrive %g) sorts before its parent (arrive %g)",
+				tag, i, h[i].Arrive, h[parent].Arrive)
+		}
+	}
+	total := 0
+	for _, q := range ib.queues {
+		total += q.Len()
+	}
+	checkf(total == ib.depth,
+		"inbox depth accounting out of balance: cached %d, actual %d", ib.depth, total)
+}
+
+// checkClockMonotone asserts that the rank's virtual clock never ran
+// backwards since the last observation.
+func (p *Proc) checkClockMonotone() {
+	now := p.clock.Now()
+	checkf(now >= p.checkLastNow,
+		"rank %d virtual clock ran backwards: %g after %g", p.rank, now, p.checkLastNow)
+	p.checkLastNow = now
+}

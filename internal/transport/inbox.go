@@ -35,10 +35,19 @@ type Inbox struct {
 	cond   *sync.Cond
 	queues map[Tag]*packetHeap
 	seq    uint64
+	pops   uint64
 	depth  int
 	// maxDepth tracks the high-water mark of queued packets, a proxy for
 	// the receive-side memory pressure the mailbox capacity bounds.
 	maxDepth int
+	// waiting/waitTag expose whether the owning rank is parked inside
+	// WaitPop, and on which tag — the deadlock watchdog's blocked signal.
+	waiting bool
+	waitTag Tag
+	// poisoned is set by the deadlock watchdog once every active rank is
+	// blocked; it makes WaitPop return nil so blocked ranks can unwind
+	// and report their state instead of hanging forever.
+	poisoned bool
 }
 
 // NewInbox returns an empty inbox.
@@ -63,21 +72,33 @@ func (ib *Inbox) Push(p *Packet) {
 	if ib.depth > ib.maxDepth {
 		ib.maxDepth = ib.depth
 	}
+	ib.verify(p.Tag)
 	ib.mu.Unlock()
 	ib.cond.Broadcast()
 }
 
 // WaitPop blocks until a packet with the given tag is present, then
-// removes and returns the one with the earliest virtual arrival.
+// removes and returns the one with the earliest virtual arrival. It
+// returns nil only after the inbox has been poisoned by the deadlock
+// watchdog; Proc.Recv turns that into a per-rank state dump.
 func (ib *Inbox) WaitPop(tag Tag) *Packet {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	for {
 		if q, ok := ib.queues[tag]; ok && q.Len() > 0 {
 			ib.depth--
-			return heap.Pop(q).(*Packet)
+			ib.pops++
+			p := heap.Pop(q).(*Packet)
+			ib.verify(tag)
+			return p
 		}
+		if ib.poisoned {
+			return nil
+		}
+		ib.waiting = true
+		ib.waitTag = tag
 		ib.cond.Wait()
+		ib.waiting = false
 	}
 }
 
@@ -90,7 +111,10 @@ func (ib *Inbox) TryPop(tag Tag) *Packet {
 	defer ib.mu.Unlock()
 	if q, ok := ib.queues[tag]; ok && q.Len() > 0 {
 		ib.depth--
-		return heap.Pop(q).(*Packet)
+		ib.pops++
+		p := heap.Pop(q).(*Packet)
+		ib.verify(tag)
+		return p
 	}
 	return nil
 }
@@ -107,7 +131,28 @@ func (ib *Inbox) TryPopArrived(tag Tag, now float64) *Packet {
 		return nil
 	}
 	ib.depth--
-	return heap.Pop(q).(*Packet)
+	ib.pops++
+	p := heap.Pop(q).(*Packet)
+	ib.verify(tag)
+	return p
+}
+
+// progress returns a counter that increases with every push and pop —
+// the watchdog's signal that the run is still moving. blocked reports
+// whether the owning rank is parked in WaitPop, and on which tag.
+func (ib *Inbox) progress() (count uint64, blocked bool, tag Tag) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return ib.seq + ib.pops, ib.waiting, ib.waitTag
+}
+
+// poison wakes a blocked receiver and makes all future WaitPop calls
+// return nil. Called by the deadlock watchdog only.
+func (ib *Inbox) poison() {
+	ib.mu.Lock()
+	ib.poisoned = true
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
 }
 
 // Len returns the number of packets currently queued across all tags.

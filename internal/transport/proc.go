@@ -28,6 +28,10 @@ type Proc struct {
 	jumpSrc    machine.Rank
 	jumpTag    Tag
 	jumpArrive float64
+
+	// checkLastNow is the last virtual time observed by the ygmcheck
+	// clock-monotonicity assertion; unused in default builds.
+	checkLastNow float64
 }
 
 // Rank returns this rank's flat identifier.
@@ -65,6 +69,7 @@ func (p *Proc) Compute(d float64) {
 		panic("transport: negative compute time")
 	}
 	p.clock.Advance(d * p.computeScale)
+	p.checkClockMonotone()
 }
 
 // ChargeRecvOverhead advances the clock by the model's receive overhead;
@@ -101,9 +106,14 @@ func (p *Proc) Send(dst machine.Rank, tag Tag, payload []byte) {
 
 // Recv blocks until a packet with the given tag arrives, fast-forwards
 // the clock to its virtual arrival (accruing wait time), charges the
-// receive overhead, and returns it.
+// receive overhead, and returns it. If the run's deadlock watchdog
+// determined that every active rank is blocked, Recv records this rank's
+// state and unwinds the rank instead of hanging forever.
 func (p *Proc) Recv(tag Tag) *Packet {
 	pkt := p.world.inboxes[p.rank].WaitPop(tag)
+	if pkt == nil {
+		p.deadlockExit(tag)
+	}
 	p.absorb(pkt)
 	return pkt
 }
@@ -116,6 +126,7 @@ func (p *Proc) Poll(tag Tag) *Packet {
 	if pkt != nil {
 		p.clock.Advance(p.world.model.RecvOverheadFor(p.world.topo.SameNode(p.rank, pkt.Src)))
 		p.stats.RecvMsgs++
+		p.checkClockMonotone()
 	}
 	return pkt
 }
@@ -154,6 +165,7 @@ func (p *Proc) absorb(pkt *Packet) {
 	p.clock.WaitUntil(pkt.Arrive)
 	p.clock.Advance(p.world.model.RecvOverheadFor(p.world.topo.SameNode(p.rank, pkt.Src)))
 	p.stats.RecvMsgs++
+	p.checkClockMonotone()
 }
 
 // BigJump reports the packet that caused this rank's largest arrival

@@ -6,6 +6,8 @@ import (
 	"os"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ygm/internal/machine"
 	"ygm/internal/netsim"
@@ -27,6 +29,12 @@ type Config struct {
 	// Compute call of the given rank. Values > 1 model stragglers — the
 	// imbalance scenario the paper's asynchronous design targets.
 	ComputeScale func(r machine.Rank) float64
+	// WatchdogInterval is the host-time polling cadence of the deadlock
+	// watchdog, which aborts a run with a per-rank state dump when every
+	// active rank is blocked in a receive with no traffic in flight.
+	// Zero selects the default (250ms); a negative value disables the
+	// watchdog entirely.
+	WatchdogInterval time.Duration
 }
 
 // World holds the shared state of a run: one inbox per rank plus the
@@ -36,6 +44,16 @@ type World struct {
 	model         netsim.Model
 	inboxes       []*Inbox
 	trackPartners bool
+
+	// active counts ranks whose SPMD body is still running; the deadlock
+	// watchdog compares it against the number of blocked receivers.
+	active atomic.Int64
+	// poisoned is set once the watchdog declares deadlock.
+	poisoned atomic.Bool
+	// dead collects per-rank state dumps, self-reported by each rank as
+	// it unwinds from a poisoned receive (index = rank, written by the
+	// owning rank only, read after all goroutines join).
+	dead []*RankDeadState
 }
 
 // RankReport is one rank's outcome.
@@ -135,6 +153,17 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 	for i := range w.inboxes {
 		w.inboxes[i] = NewInbox()
 	}
+	w.dead = make([]*RankDeadState, size)
+	w.active.Store(int64(size))
+	if cfg.WatchdogInterval >= 0 {
+		interval := cfg.WatchdogInterval
+		if interval == 0 {
+			interval = defaultWatchdogInterval
+		}
+		stop := make(chan struct{})
+		defer close(stop)
+		go w.watchdog(interval, stop)
+	}
 
 	report := &Report{Topo: cfg.Topo, Ranks: make([]RankReport, size)}
 	errs := make([]error, size)
@@ -143,6 +172,7 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 	for i := 0; i < size; i++ {
 		go func(r machine.Rank) {
 			defer wg.Done()
+			defer w.active.Add(-1)
 			p := &Proc{
 				world:        w,
 				rank:         r,
@@ -156,11 +186,18 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 			}
 			defer func() {
 				if rec := recover(); rec != nil {
-					errs[r] = fmt.Errorf("transport: rank %d panicked: %v\n%s", r, rec, debug.Stack())
-					// A dead rank usually deadlocks its peers (they wait
-					// on its messages); surface the cause immediately
-					// rather than only after every goroutine unwinds.
-					fmt.Fprintf(os.Stderr, "transport: rank %d died: %v\n", r, rec)
+					if _, ok := rec.(rankDeadlocked); ok {
+						// Orderly unwind from a poisoned receive; the
+						// aggregated DeadlockError is assembled after
+						// all ranks join.
+						errs[r] = errRankDeadlocked
+					} else {
+						errs[r] = fmt.Errorf("transport: rank %d panicked: %v\n%s", r, rec, debug.Stack())
+						// A dead rank usually deadlocks its peers (they wait
+						// on its messages); surface the cause immediately
+						// rather than only after every goroutine unwinds.
+						fmt.Fprintf(os.Stderr, "transport: rank %d died: %v\n", r, rec)
+					}
 				}
 				report.Ranks[r] = RankReport{
 					Rank:          r,
@@ -175,10 +212,21 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 		}(machine.Rank(i))
 	}
 	wg.Wait()
+	// A rank that died from a real panic usually strands its peers in
+	// blocking receives, which the watchdog then resolves by poisoning
+	// them — so prefer reporting the root-cause panic over the derived
+	// deadlock when both are present.
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && err != errRankDeadlocked {
 			return report, err
 		}
 	}
+	if w.poisoned.Load() {
+		return report, w.deadlockError()
+	}
 	return report, nil
 }
+
+// errRankDeadlocked marks a rank unwound by the deadlock watchdog; Run
+// replaces it with the aggregated DeadlockError.
+var errRankDeadlocked = fmt.Errorf("transport: rank unwound by deadlock watchdog")

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ygm/internal/machine"
+)
+
+// defaultWatchdogInterval is the polling cadence of the deadlock
+// watchdog. Detection needs two consecutive quiet observations, so the
+// worst-case latency from deadlock to dump is about three intervals.
+const defaultWatchdogInterval = 250 * time.Millisecond
+
+// RankDeadState is one rank's snapshot at deadlock-detection time,
+// self-reported by the rank as it unwinds from its poisoned receive.
+type RankDeadState struct {
+	Rank       machine.Rank
+	Clock      float64 // virtual time at which the rank blocked
+	InboxDepth int     // packets physically queued (other tags included)
+	BlockedTag Tag     // the tag the rank was blocked receiving
+}
+
+// DeadlockError reports that the deadlock watchdog found every active
+// rank blocked in a receive with no traffic in flight — the state a
+// flush-before-drain violation or a mismatched collective produces. It
+// carries the per-rank state dump the watchdog collected instead of
+// letting the run hang.
+type DeadlockError struct {
+	// Blocked holds the state of every rank that was parked in a blocking
+	// receive when the watchdog fired.
+	Blocked []RankDeadState
+	// Finished lists ranks whose SPMD body had already returned.
+	Finished []machine.Rank
+}
+
+// Error formats the per-rank state dump.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transport: deadlock detected: %d rank(s) blocked, %d finished",
+		len(e.Blocked), len(e.Finished))
+	for _, s := range e.Blocked {
+		fmt.Fprintf(&b, "\n  rank %d: blocked on tag %#x, clock %.6fs, inbox depth %d",
+			s.Rank, uint64(s.BlockedTag), s.Clock, s.InboxDepth)
+	}
+	if len(e.Finished) > 0 {
+		parts := make([]string, len(e.Finished))
+		for i, r := range e.Finished {
+			parts[i] = fmt.Sprintf("%d", r)
+		}
+		fmt.Fprintf(&b, "\n  finished: rank(s) %s", strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// rankDeadlocked is the panic value a rank raises after recording its
+// RankDeadState; Run's recover treats it as an orderly unwind.
+type rankDeadlocked struct{}
+
+// deadlockExit records this rank's state for the aggregated dump and
+// unwinds the rank. Called from Recv when its inbox has been poisoned.
+func (p *Proc) deadlockExit(tag Tag) {
+	w := p.world
+	w.dead[p.rank] = &RankDeadState{
+		Rank:       p.rank,
+		Clock:      p.clock.Now(),
+		InboxDepth: w.inboxes[p.rank].Len(),
+		BlockedTag: tag,
+	}
+	panic(rankDeadlocked{})
+}
+
+// watchdog polls all inboxes until the run ends or a deadlock is found:
+// every rank still running its body is parked in a blocking receive and
+// no packet was pushed or popped between two consecutive observations.
+// Under that condition no rank can ever wake another (wakeups require
+// pushes, and every potential pusher is blocked), so the watchdog
+// poisons the inboxes; each blocked rank then unwinds through
+// deadlockExit and Run assembles the DeadlockError.
+//
+// The watchdog runs on host time by design — it supervises the
+// simulation from outside, so the virtual-clock rule does not apply.
+func (w *World) watchdog(interval time.Duration, stop <-chan struct{}) {
+	ticker := time.NewTicker(interval) //ygmvet:ignore wallclock — host-time supervisor, not simulated-rank code
+	defer ticker.Stop()
+	var lastProgress uint64
+	strikes := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		active := w.active.Load()
+		if active <= 0 {
+			return
+		}
+		blocked := 0
+		var progress uint64
+		for _, ib := range w.inboxes {
+			n, waiting, _ := ib.progress()
+			progress += n
+			if waiting {
+				blocked++
+			}
+		}
+		if int64(blocked) == active && progress == lastProgress {
+			strikes++
+		} else {
+			strikes = 0
+		}
+		lastProgress = progress
+		if strikes >= 2 {
+			w.poisoned.Store(true)
+			for _, ib := range w.inboxes {
+				ib.poison()
+			}
+			return
+		}
+	}
+}
+
+// deadlockError assembles the aggregated dump after all rank goroutines
+// have unwound from a poisoned run.
+func (w *World) deadlockError() *DeadlockError {
+	derr := &DeadlockError{}
+	for i, ds := range w.dead {
+		if ds != nil {
+			derr.Blocked = append(derr.Blocked, *ds)
+		} else {
+			derr.Finished = append(derr.Finished, machine.Rank(i))
+		}
+	}
+	sort.Slice(derr.Blocked, func(i, j int) bool { return derr.Blocked[i].Rank < derr.Blocked[j].Rank })
+	return derr
+}

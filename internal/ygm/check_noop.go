@@ -1,0 +1,17 @@
+//go:build !ygmcheck
+
+package ygm
+
+import "ygm/internal/transport"
+
+// ygmcheckEnabled reports whether the runtime invariant layer is compiled
+// in. This is the default build: all checks compile to no-ops.
+const ygmcheckEnabled = false
+
+func checkf(bool, string, ...any) {}
+
+func (mb *Mailbox) checkCapacityBound() {}
+
+func checkQuiescent(*transport.Proc, int, string) {}
+
+func (td *termDetector) checkVerdictBalanced(bool) {}

@@ -1,0 +1,64 @@
+//go:build ygmcheck
+
+package ygm
+
+import (
+	"fmt"
+
+	"ygm/internal/transport"
+)
+
+// ygmcheckEnabled reports whether the runtime invariant layer is compiled
+// in (`go test -tags ygmcheck ./...`). The no-op twin lives in
+// check_noop.go.
+const ygmcheckEnabled = true
+
+// checkf panics with a descriptive ygmcheck message when cond is false.
+func checkf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("ygmcheck: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// checkCapacityBound asserts the paper's mailbox-size contract after an
+// application-level queueing operation: outside packet processing (where
+// flushes are deferred until the packet is fully handled), the coalescing
+// buffers never hold a full mailbox — reaching Capacity triggers a
+// communication context. It also checks the per-hop record accounting.
+func (mb *Mailbox) checkCapacityBound() {
+	if mb.processing {
+		return
+	}
+	checkf(mb.queued < mb.opts.Capacity,
+		"rank %d coalescing buffers hold %d records, capacity %d: flush-at-capacity violated",
+		mb.p.Rank(), mb.queued, mb.opts.Capacity)
+	total := 0
+	for _, n := range mb.bufCount {
+		total += n
+	}
+	checkf(total == mb.queued,
+		"rank %d queued-record accounting out of balance: cached %d, actual %d",
+		mb.p.Rank(), mb.queued, total)
+}
+
+// checkQuiescent asserts the postcondition of a positive termination
+// verdict: the rank holds no unflushed records. A violation means the
+// flush-before-drain discipline broke — the counting consensus declared
+// quiescence while this rank still had buffered sends. (The inbox may
+// legitimately hold *next-phase* packets from ranks that observed the
+// verdict earlier and already resumed sending, so inbox emptiness is
+// deliberately not asserted.)
+func checkQuiescent(p *transport.Proc, pendingSends int, site string) {
+	checkf(pendingSends == 0,
+		"rank %d left %s with %d unflushed records", p.Rank(), site, pendingSends)
+}
+
+// checkVerdictBalanced asserts the counting-consensus invariant at the
+// moment rank 0 declares global quiescence: every record hop sent has
+// been received.
+func (td *termDetector) checkVerdictBalanced(done bool) {
+	if done {
+		checkf(td.accS == td.accR,
+			"termination verdict with unbalanced counters: sent %d, received %d", td.accS, td.accR)
+	}
+}

@@ -1,0 +1,65 @@
+package ygm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+)
+
+// TestDeadlockWatchdogCatchesBlockingHandler is the regression test for
+// the classic mailbox self-deadlock: a receive callback that calls the
+// blocking collective WaitEmpty. The nested call consumes a termination
+// verdict that the rank's own top-level WaitEmpty then waits for
+// forever. The run must be aborted by the transport deadlock watchdog
+// with a per-rank state dump — not hang until the test binary times out.
+// (ygmvet's blockincallback analyzer flags this pattern statically; this
+// test pins the runtime backstop.)
+func TestDeadlockWatchdogCatchesBlockingHandler(t *testing.T) {
+	cfg := transport.Config{
+		Topo:             machine.New(1, 2),
+		Seed:             1,
+		WatchdogInterval: 10 * time.Millisecond,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := transport.Run(cfg, func(p *transport.Proc) error {
+			var mb *Mailbox
+			mb = New(p, func(s Sender, payload []byte) {
+				mb.WaitEmpty() // the forbidden blocking collective inside a handler
+			}, Options{})
+			if p.Rank() == 0 {
+				mb.Send(machine.Rank(1), []byte("x"))
+			}
+			mb.WaitEmpty()
+			return nil
+		})
+		done <- err
+	}()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("self-deadlocking handler was not aborted by the watchdog")
+	}
+	var derr *transport.DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("want transport.DeadlockError with rank dump, got %v", err)
+	}
+	if len(derr.Blocked) == 0 {
+		t.Fatalf("dump reports no blocked ranks: %v", err)
+	}
+	for _, s := range derr.Blocked {
+		if s.BlockedTag != TagTerm {
+			t.Errorf("rank %d blocked on tag %#x, want TagTerm (termination traffic)", s.Rank, uint64(s.BlockedTag))
+		}
+	}
+	for _, want := range []string{"deadlock detected", "blocked on tag", "inbox depth"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("dump missing %q:\n%s", want, err.Error())
+		}
+	}
+}

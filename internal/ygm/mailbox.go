@@ -199,6 +199,7 @@ func (mb *Mailbox) Send(dst machine.Rank, payload []byte) {
 	hop := mb.p.Topo().NextHop(mb.opts.Scheme, mb.p.Rank(), dst)
 	mb.enqueue(hop, kindUnicast, dst, payload)
 	mb.afterQueue()
+	mb.checkCapacityBound()
 }
 
 // SendBcast queues a broadcast of payload to every other rank, routed by
@@ -254,6 +255,7 @@ func (mb *Mailbox) SendBcast(payload []byte) {
 		panic("ygm: unknown scheme")
 	}
 	mb.afterQueue()
+	mb.checkCapacityBound()
 }
 
 // nlnrBcastFanout sends the NLNR remote-distribution stage for the
@@ -490,6 +492,7 @@ func (mb *Mailbox) WaitEmpty() {
 		mb.drainAvailable()
 		if mb.term.step(true) {
 			mb.term.reset()
+			checkQuiescent(mb.p, mb.queued, "WaitEmpty")
 			return
 		}
 	}
@@ -505,6 +508,7 @@ func (mb *Mailbox) TestEmpty() bool {
 	mb.drainAvailable()
 	if mb.term.step(false) {
 		mb.term.reset()
+		checkQuiescent(mb.p, mb.queued, "TestEmpty")
 		return true
 	}
 	return false

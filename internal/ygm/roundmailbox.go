@@ -405,6 +405,7 @@ func (mb *RoundMailbox) WaitEmpty() {
 		}
 		if mb.term.step(false) {
 			mb.term.reset()
+			checkQuiescent(mb.p, mb.queued, "WaitEmpty")
 			// Epoch boundary: quiescence means no rounds of this epoch
 			// remain in flight, so traffic seen from here on belongs to
 			// the next application phase.

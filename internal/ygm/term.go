@@ -159,6 +159,7 @@ func (td *termDetector) verdict() bool {
 	unchanged := td.havePrev && td.accS == td.prevS && td.accR == td.prevR
 	td.prevS, td.prevR = td.accS, td.accR
 	td.havePrev = true
+	td.checkVerdictBalanced(balanced && unchanged)
 	return balanced && unchanged
 }
 
