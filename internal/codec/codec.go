@@ -238,7 +238,9 @@ func (r *Reader) Float64s() ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n*8 > uint64(r.Remaining()) {
+	// Divide rather than multiply: n*8 overflows uint64 for adversarial
+	// counts and would slip past the bound straight into makeslice.
+	if n > uint64(r.Remaining())/8 {
 		return nil, fmt.Errorf("codec: %d floats exceed %d remaining bytes: %w", n, r.Remaining(), ErrShortBuffer)
 	}
 	out := make([]float64, n)

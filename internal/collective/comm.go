@@ -56,13 +56,24 @@ func New(p *transport.Proc, ranks []machine.Rank) (*Comm, error) {
 		return nil, fmt.Errorf("collective: rank %d not a member of communicator", p.Rank())
 	}
 	h := fnv.New64a()
-	var buf [4]byte
+	var buf [8]byte
+	// Fold in the per-rank construction nonce: two communicators over the
+	// same member list (e.g. NLNR's first and third exchange stages, or a
+	// stage communicator that coincides with the world) would otherwise
+	// share a tag space while advancing independent sequence counters —
+	// their traffic would cross-talk. Construction is collective, so all
+	// members draw the same nonce.
+	nonce := p.CommNonce()
+	for i := range buf {
+		buf[i] = byte(nonce >> (8 * i))
+	}
+	h.Write(buf[:])
 	for _, r := range ranks {
 		buf[0] = byte(r)
 		buf[1] = byte(r >> 8)
 		buf[2] = byte(r >> 16)
 		buf[3] = byte(r >> 24)
-		h.Write(buf[:])
+		h.Write(buf[:4])
 	}
 	members := make([]machine.Rank, len(ranks))
 	copy(members, ranks)

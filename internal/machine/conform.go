@@ -1,0 +1,77 @@
+package machine
+
+import "fmt"
+
+// CheckHops verifies that an observed hop sequence conforms to the
+// canonical route of scheme s from src to dst: the same length and the
+// same intermediaries, in order, that Path produces, and within the
+// scheme's MaxHops transmission bound. hops excludes src and includes
+// the final delivery rank, matching Path's convention (a message
+// delivered without forwarding has hops == []Rank{dst}; a self-send has
+// no hops at all). It returns nil on conformance and a descriptive
+// error naming the first divergence otherwise.
+//
+// This is the oracle check the simulation-fuzz harness runs against
+// every unicast message: a routing mutation that still delivers — say,
+// crossing the wire on the wrong core offset — produces correct
+// payloads but a non-conforming hop sequence, and is caught here.
+func (t Topology) CheckHops(s Scheme, src, dst Rank, hops []Rank) error {
+	if !t.Valid(src) || !t.Valid(dst) {
+		return fmt.Errorf("machine: hop check with invalid endpoint src=%d dst=%d in %v", src, dst, t)
+	}
+	if len(hops) > MaxHops(s) {
+		return fmt.Errorf("machine: %v route %d->%d took %d hops, scheme bound is %d (hops %v)",
+			s, src, dst, len(hops), MaxHops(s), hops)
+	}
+	prev := src
+	for _, h := range hops {
+		if h == prev {
+			return fmt.Errorf("machine: %v route %d->%d contains self-hop at rank %d (hops %v)",
+				s, src, dst, h, hops)
+		}
+		if !t.Valid(h) {
+			return fmt.Errorf("machine: %v route %d->%d contains invalid rank %d (hops %v)",
+				s, src, dst, h, hops)
+		}
+		prev = h
+	}
+	want := t.Path(s, src, dst)
+	if len(hops) != len(want) {
+		return fmt.Errorf("machine: %v route %d->%d took %d hops %v, want %d hops %v",
+			s, src, dst, len(hops), hops, len(want), want)
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			return fmt.Errorf("machine: %v route %d->%d diverges at hop %d: got %d, want %d (got %v, want %v)",
+				s, src, dst, i, hops[i], want[i], hops, want)
+		}
+	}
+	return nil
+}
+
+// CheckRemoteEdge verifies the channel constraint of Section III-E for
+// one observed transmission: if from and to are on different nodes, to
+// must be one of from's direct remote partners under scheme s (N-1
+// same-core-offset peers for NodeLocal/NodeRemote, the ~N/C residue
+// channel for NLNR, any off-node core for NoRoute). Local edges always
+// conform. A non-nil error means a message crossed the wire outside the
+// scheme's channel set — the constraint that bounds per-rank connection
+// state on a real interconnect.
+func (t Topology) CheckRemoteEdge(s Scheme, from, to Rank) error {
+	if !t.Valid(from) || !t.Valid(to) {
+		return fmt.Errorf("machine: remote-edge check with invalid rank from=%d to=%d in %v", from, to, t)
+	}
+	if from == to {
+		return fmt.Errorf("machine: %v self-edge on rank %d", s, from)
+	}
+	if t.SameNode(from, to) {
+		return nil
+	}
+	for _, p := range t.RemotePartners(s, from) {
+		if p == to {
+			return nil
+		}
+	}
+	return fmt.Errorf("machine: %v remote edge %d->%d outside the channel set %v of rank %d",
+		s, from, to, t.RemotePartners(s, from), from)
+}

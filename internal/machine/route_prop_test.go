@@ -1,0 +1,191 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// edgeTopos are the shapes where routing arithmetic historically breaks:
+// single core (C=1 collapses every local exchange), single node (no
+// remote traffic at all), more cores than nodes (N<C leaves empty NLNR
+// residue classes), N=C squares, and layer sizes that do not divide the
+// node count.
+var edgeTopos = [][2]int{
+	{1, 1}, {2, 1}, {5, 1}, // C=1
+	{1, 2}, {1, 5}, // N=1
+	{2, 4}, {3, 5}, {2, 8}, // N<C
+	{3, 3}, {4, 4}, // N=C
+	{5, 2}, {7, 3}, {9, 4}, {5, 4}, // non-divisible layers
+	{6, 3}, {8, 2}, // divisible controls
+}
+
+// TestPathPropertiesExhaustive checks, for every edge topology, every
+// scheme, and every (src, dst) pair, the full contract of Path/NextHop:
+// termination at dst, the per-scheme hop bound (<=2 for the two-stage
+// schemes, <=3 for NLNR), no self-hops, no repeated ranks, every hop
+// valid, every remote crossing inside the scheme's channel set, and
+// agreement with the CheckHops conformance checker the simulation-fuzz
+// oracle uses.
+func TestPathPropertiesExhaustive(t *testing.T) {
+	for _, shape := range edgeTopos {
+		topo := New(shape[0], shape[1])
+		for _, s := range Schemes {
+			t.Run(fmt.Sprintf("%dx%d/%s", shape[0], shape[1], s), func(t *testing.T) {
+				world := topo.WorldSize()
+				for src := Rank(0); int(src) < world; src++ {
+					for dst := Rank(0); int(dst) < world; dst++ {
+						if src == dst {
+							continue
+						}
+						path := topo.Path(s, src, dst)
+						if len(path) == 0 || path[len(path)-1] != dst {
+							t.Fatalf("Path(%s,%d,%d) = %v does not end at dst", s, src, dst, path)
+						}
+						if len(path) > MaxHops(s) {
+							t.Fatalf("Path(%s,%d,%d) = %v exceeds MaxHops %d", s, src, dst, path, MaxHops(s))
+						}
+						seen := map[Rank]bool{src: true}
+						prev := src
+						for _, h := range path {
+							if h == prev {
+								t.Fatalf("Path(%s,%d,%d) = %v contains self-hop at %d", s, src, dst, path, h)
+							}
+							if !topo.Valid(h) {
+								t.Fatalf("Path(%s,%d,%d) = %v contains invalid rank %d", s, src, dst, path, h)
+							}
+							if seen[h] {
+								t.Fatalf("Path(%s,%d,%d) = %v revisits rank %d", s, src, dst, path, h)
+							}
+							seen[h] = true
+							if !topo.SameNode(prev, h) {
+								if err := topo.CheckRemoteEdge(s, prev, h); err != nil {
+									t.Fatalf("Path(%s,%d,%d) = %v: %v", s, src, dst, path, err)
+								}
+							}
+							prev = h
+						}
+						if err := topo.CheckHops(s, src, dst, path); err != nil {
+							t.Fatalf("CheckHops rejects its own Path(%s,%d,%d) = %v: %v", s, src, dst, path, err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestNextHopSelfIsIdentity pins the short-circuit rule: the next hop
+// from a rank to itself is itself, for every scheme and topology.
+func TestNextHopSelfIsIdentity(t *testing.T) {
+	for _, shape := range edgeTopos {
+		topo := New(shape[0], shape[1])
+		for _, s := range Schemes {
+			for r := Rank(0); int(r) < topo.WorldSize(); r++ {
+				if got := topo.NextHop(s, r, r); got != r {
+					t.Fatalf("%dx%d %s: NextHop(%d,%d) = %d", shape[0], shape[1], s, r, r, got)
+				}
+			}
+		}
+	}
+}
+
+// TestNextHopNeverSelf pins that forwarding always makes progress: for
+// cur != dst the next hop is never cur.
+func TestNextHopNeverSelf(t *testing.T) {
+	for _, shape := range edgeTopos {
+		topo := New(shape[0], shape[1])
+		for _, s := range Schemes {
+			world := topo.WorldSize()
+			for cur := Rank(0); int(cur) < world; cur++ {
+				for dst := Rank(0); int(dst) < world; dst++ {
+					if cur == dst {
+						continue
+					}
+					if got := topo.NextHop(s, cur, dst); got == cur {
+						t.Fatalf("%dx%d %s: NextHop(%d,%d) returned cur", shape[0], shape[1], s, cur, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSingleNodePathsAreDirect: with one node everything is a local
+// exchange, so every scheme must deliver in exactly one hop.
+func TestSingleNodePathsAreDirect(t *testing.T) {
+	for _, cores := range []int{1, 2, 3, 8} {
+		topo := New(1, cores)
+		for _, s := range Schemes {
+			for src := Rank(0); int(src) < cores; src++ {
+				for dst := Rank(0); int(dst) < cores; dst++ {
+					if src == dst {
+						continue
+					}
+					if path := topo.Path(s, src, dst); len(path) != 1 || path[0] != dst {
+						t.Fatalf("1x%d %s: Path(%d,%d) = %v, want direct", cores, s, src, dst, path)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCheckHopsRejects pins the conformance checker's error cases: the
+// oracle depends on these firing for mutated routing.
+func TestCheckHopsRejects(t *testing.T) {
+	topo := New(3, 2) // NLNR paths up to 3 hops
+	src, dst := topo.RankOf(0, 0), topo.RankOf(2, 1)
+	good := topo.Path(NLNR, src, dst)
+	cases := []struct {
+		name string
+		s    Scheme
+		hops []Rank
+	}{
+		{"empty", NLNR, nil},
+		{"wrong-final", NLNR, append(append([]Rank{}, good[:len(good)-1]...), topo.RankOf(1, 0))},
+		{"too-long", NoRoute, []Rank{topo.RankOf(1, 0), dst}},
+		{"self-hop", NLNR, append([]Rank{src}, good...)},
+		{"invalid-rank", NLNR, []Rank{99, dst}},
+		{"divergent", NLNR, append([]Rank{topo.RankOf(1, 1)}, good[1:]...)},
+	}
+	for _, tc := range cases {
+		if err := topo.CheckHops(tc.s, src, dst, tc.hops); err == nil {
+			t.Errorf("%s: CheckHops accepted %v", tc.name, tc.hops)
+		}
+	}
+	if err := topo.CheckHops(NLNR, src, dst, good); err != nil {
+		t.Fatalf("CheckHops rejected the canonical path: %v", err)
+	}
+}
+
+// TestCheckRemoteEdgeMatrix verifies CheckRemoteEdge agrees exactly with
+// RemotePartners membership for every pair on every edge topology.
+func TestCheckRemoteEdgeMatrix(t *testing.T) {
+	for _, shape := range edgeTopos {
+		topo := New(shape[0], shape[1])
+		for _, s := range Schemes {
+			world := topo.WorldSize()
+			for from := Rank(0); int(from) < world; from++ {
+				partners := map[Rank]bool{}
+				for _, p := range topo.RemotePartners(s, from) {
+					partners[p] = true
+				}
+				for to := Rank(0); int(to) < world; to++ {
+					err := topo.CheckRemoteEdge(s, from, to)
+					switch {
+					case from == to:
+						if err == nil {
+							t.Fatalf("%dx%d %s: self-edge %d accepted", shape[0], shape[1], s, from)
+						}
+					case topo.SameNode(from, to):
+						if err != nil {
+							t.Fatalf("%dx%d %s: local edge %d->%d rejected: %v", shape[0], shape[1], s, from, to, err)
+						}
+					case partners[to] != (err == nil):
+						t.Fatalf("%dx%d %s: edge %d->%d: partner=%v err=%v", shape[0], shape[1], s, from, to, partners[to], err)
+					}
+				}
+			}
+		}
+	}
+}

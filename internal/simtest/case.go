@@ -1,0 +1,230 @@
+// Package simtest is the seeded simulation-fuzz harness for the YGM
+// mailbox stack. Each Case describes one randomized workload — a
+// topology, a routing scheme, a mailbox variant, and a seeded pattern of
+// sends, broadcasts, handler-spawned follow-ups, and mid-run WaitEmpty
+// barriers — executed under optional delivery-delay injection while a
+// delivery-semantics oracle (see oracle.go) records every logical send
+// and checks, post-run: exactly-once delivery to the correct rank with
+// intact payloads, hop sequences conforming to machine.Path, remote
+// transmissions staying inside each scheme's channel set, packet
+// conservation, and that no WaitEmpty barrier returned while messages of
+// its phase were still in flight.
+//
+// Cases are value types with a compact string form (String/ParseCase) so
+// a failing run — after the shrinker minimizes it — reproduces from a
+// single printed `go test` command.
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"ygm/internal/machine"
+)
+
+// Variant selects which mailbox implementation a Case exercises.
+type Variant int
+
+const (
+	// VariantLazy is the asynchronous lazy-forwarding Mailbox.
+	VariantLazy Variant = iota
+	// VariantRound is the round-matched RoundMailbox (the paper's
+	// production protocol).
+	VariantRound
+	// VariantSync is the ALLTOALLV-backed SyncMailbox driven by
+	// ExchangeUntilQuiet.
+	VariantSync
+)
+
+// Variants lists all mailbox variants the harness covers.
+var Variants = []Variant{VariantLazy, VariantRound, VariantSync}
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantLazy:
+		return "lazy"
+	case VariantRound:
+		return "round"
+	case VariantSync:
+		return "sync"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// ParseVariant inverts String.
+func ParseVariant(s string) (Variant, error) {
+	for _, v := range Variants {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return VariantLazy, fmt.Errorf("simtest: unknown variant %q", s)
+}
+
+// Case is one fully-specified fuzz workload. The zero value is invalid;
+// derive cases with FromSeed or ParseCase.
+type Case struct {
+	// Seed feeds every random choice of the workload (destinations,
+	// payload sizes, broadcast picks, jitter) and the transport's
+	// per-rank sources.
+	Seed int64
+	// Nodes x Cores is the simulated topology.
+	Nodes, Cores int
+	// Scheme is the routing protocol under test.
+	Scheme machine.Scheme
+	// Variant is the mailbox implementation under test.
+	Variant Variant
+	// Phases is the number of send-then-barrier rounds each rank runs;
+	// every phase ends in a WaitEmpty (or ExchangeUntilQuiet) barrier.
+	Phases int
+	// Msgs is the number of application sends per rank per phase.
+	Msgs int
+	// Capacity is the mailbox capacity (small values force frequent
+	// communication contexts / rounds).
+	Capacity int
+	// MaxPayload bounds the random filler appended to each message.
+	MaxPayload int
+	// TTL is the maximum handler-spawn depth: a delivered unicast with
+	// ttl>0 spawns one follow-up send with ttl-1 (data-dependent
+	// traffic, as in graph traversals). 0 disables spawning.
+	TTL int
+	// BcastEvery makes roughly one in BcastEvery sends a SendBcast;
+	// 0 disables broadcasts.
+	BcastEvery int
+	// Jitter enables seeded random extra delivery delays, perturbing
+	// which packets are physically present at each poll or drain.
+	Jitter bool
+	// TestEmptyBarrier drives the lazy variant's barriers through
+	// nonblocking TestEmpty polling instead of WaitEmpty (ignored by
+	// the other variants).
+	TestEmptyBarrier bool
+	// Mutant injects a deliberate fault (see mutants.go); MutantNone
+	// for clean runs.
+	Mutant Mutant
+}
+
+// topoShapes are the cluster shapes the fuzzer draws from: the paper's
+// N>C and C>1 sweet spot plus every degenerate edge (single node, single
+// core, N<C, N=C, non-divisible layer sizes).
+var topoShapes = [][2]int{
+	{1, 1}, {2, 1}, {1, 2}, {1, 3}, {3, 1},
+	{2, 2}, {3, 2}, {2, 3}, {4, 2}, {3, 3},
+	{4, 3}, {5, 3}, {2, 4}, {4, 4}, {6, 2},
+}
+
+// FromSeed derives the workload dimensions of a Case from a seed. The
+// caller chooses Scheme and Variant (the fuzz loop enumerates all
+// combinations for every seed).
+func FromSeed(seed int64) Case {
+	rng := rand.New(rand.NewSource(seed*2654435761 + 0x9e3779b9))
+	shape := topoShapes[rng.Intn(len(topoShapes))]
+	caps := []int{2, 4, 8, 16, 64}
+	bcast := []int{0, 4, 7}
+	return Case{
+		Seed:             seed,
+		Nodes:            shape[0],
+		Cores:            shape[1],
+		Phases:           1 + rng.Intn(3),
+		Msgs:             4 + rng.Intn(21),
+		Capacity:         caps[rng.Intn(len(caps))],
+		MaxPayload:       rng.Intn(33),
+		TTL:              rng.Intn(3),
+		BcastEvery:       bcast[rng.Intn(len(bcast))],
+		Jitter:           rng.Intn(2) == 1,
+		TestEmptyBarrier: rng.Intn(4) == 0,
+	}
+}
+
+// Topo returns the Case's topology.
+func (c Case) Topo() machine.Topology { return machine.New(c.Nodes, c.Cores) }
+
+// String renders the Case in its canonical compact form, parseable by
+// ParseCase. The mutant is included only when set, so clean repro
+// strings stay clean.
+func (c Case) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d,topo=%dx%d,scheme=%s,variant=%s,phases=%d,msgs=%d,cap=%d,payload=%d,ttl=%d,bcast=%d,jitter=%d,testempty=%d",
+		c.Seed, c.Nodes, c.Cores, c.Scheme, c.Variant, c.Phases, c.Msgs,
+		c.Capacity, c.MaxPayload, c.TTL, c.BcastEvery, b2i(c.Jitter), b2i(c.TestEmptyBarrier))
+	if c.Mutant != MutantNone {
+		fmt.Fprintf(&b, ",mutant=%s", c.Mutant)
+	}
+	return b.String()
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// ParseCase inverts String. Unknown keys are rejected so stale repro
+// commands fail loudly rather than silently running a different case.
+func ParseCase(s string) (Case, error) {
+	var c Case
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return c, fmt.Errorf("simtest: malformed case field %q", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			c.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "topo":
+			n, cs, ok := strings.Cut(v, "x")
+			if !ok {
+				return c, fmt.Errorf("simtest: malformed topo %q", v)
+			}
+			if c.Nodes, err = strconv.Atoi(n); err == nil {
+				c.Cores, err = strconv.Atoi(cs)
+			}
+		case "scheme":
+			c.Scheme, err = machine.ParseScheme(v)
+		case "variant":
+			c.Variant, err = ParseVariant(v)
+		case "phases":
+			c.Phases, err = strconv.Atoi(v)
+		case "msgs":
+			c.Msgs, err = strconv.Atoi(v)
+		case "cap":
+			c.Capacity, err = strconv.Atoi(v)
+		case "payload":
+			c.MaxPayload, err = strconv.Atoi(v)
+		case "ttl":
+			c.TTL, err = strconv.Atoi(v)
+		case "bcast":
+			c.BcastEvery, err = strconv.Atoi(v)
+		case "jitter":
+			c.Jitter = v == "1"
+		case "testempty":
+			c.TestEmptyBarrier = v == "1"
+		case "mutant":
+			c.Mutant, err = ParseMutant(v)
+		default:
+			return c, fmt.Errorf("simtest: unknown case field %q", k)
+		}
+		if err != nil {
+			return c, fmt.Errorf("simtest: case field %q: %v", kv, err)
+		}
+	}
+	if err := c.validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// validate rejects dimension combinations the harness cannot run.
+func (c Case) validate() error {
+	if c.Nodes <= 0 || c.Cores <= 0 {
+		return fmt.Errorf("simtest: invalid topology %dx%d", c.Nodes, c.Cores)
+	}
+	if c.Phases <= 0 || c.Msgs < 0 || c.Capacity <= 0 || c.MaxPayload < 0 || c.TTL < 0 || c.BcastEvery < 0 {
+		return fmt.Errorf("simtest: invalid workload dimensions in %q", c.String())
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+// watchdogInterval is the host-time deadlock polling cadence for fuzz
+// runs. Much shorter than the production default: a mutant that wedges
+// the world should fail the case in tens of milliseconds, not seconds.
+const watchdogInterval = 25 * time.Millisecond
+
+// testEmptySpinCap bounds the nonblocking TestEmpty barrier loop; a
+// correct run converges in far fewer iterations, so hitting the cap is
+// itself a termination-detection failure.
+const testEmptySpinCap = 1 << 22
+
+// RunCase executes one fuzz workload and checks it against the oracle.
+// A nil return means the run completed and every delivery-semantics
+// property held; the error otherwise describes the violation (oracle
+// verdict, rank panic, or deadlock-watchdog dump).
+func RunCase(c Case) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	topo := c.Topo()
+	o := newOracle(topo, c.Scheme, c.Phases)
+	hooks := c.Mutant.hooks()
+	cfg := transport.Config{
+		Topo:             topo,
+		Seed:             c.Seed,
+		Trace:            o,
+		WatchdogInterval: watchdogInterval,
+	}
+	if c.Jitter {
+		cfg.Delay = jitterDelay(c.Seed, topo.WorldSize())
+	}
+	_, err := transport.Run(cfg, func(p *transport.Proc) error {
+		return runRank(p, c, o, hooks)
+	})
+	if err != nil {
+		return err
+	}
+	return o.validate()
+}
+
+// jitterDelay builds a seeded per-source delay injector: every packet
+// gains up to 50µs of extra virtual flight time, perturbing which
+// packets are physically present at each poll or drain. Each source
+// rank draws from its own generator (DelayFn runs on the sender's
+// goroutine), so the injection is deterministic per rank.
+func jitterDelay(seed int64, world int) transport.DelayFn {
+	rngs := make([]*rand.Rand, world)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(seed*7919 + int64(i)*104729 + 0x51ed))
+	}
+	return func(src, dst machine.Rank, tag transport.Tag, size int) float64 {
+		return rngs[src].Float64() * 50e-6
+	}
+}
+
+// runRank is the SPMD body of one rank: Phases rounds of seeded sends
+// followed by a quiescence barrier, with the oracle recording every
+// logical event on this rank's goroutine.
+func runRank(p *transport.Proc, c Case, o *oracle, hooks *ygm.TestHooks) error {
+	me := p.Rank()
+	world := p.WorldSize()
+	rng := rand.New(rand.NewSource(c.Seed*1000003 + int64(me)*8191 + 17))
+
+	handler := func(s ygm.Sender, payload []byte) {
+		m, ok := o.recordDelivery(me, payload)
+		if !ok || m.bcast || m.ttl <= 0 {
+			return
+		}
+		// Data-dependent spawn (the graph-traversal pattern): the child
+		// inherits the parent's phase so barrier accounting stays sound.
+		dst := machine.Rank(rng.Intn(world))
+		key := o.recordSend(me, false, dst, m.phase)
+		s.Send(dst, encodePayload(key, false, m.phase, m.ttl-1, dst, rng.Intn(c.MaxPayload+1)))
+	}
+
+	opts := ygm.Options{
+		Scheme:   c.Scheme,
+		Capacity: c.Capacity,
+		Tap:      o,
+		Hooks:    hooks,
+	}
+
+	var send func(dst machine.Rank, payload []byte)
+	var bcast func(payload []byte)
+	var barrier func() error
+	switch c.Variant {
+	case VariantLazy:
+		mb := ygm.New(p, handler, opts)
+		send, bcast = mb.Send, mb.SendBcast
+		if c.TestEmptyBarrier {
+			barrier = func() error {
+				for spins := 0; !mb.TestEmpty(); spins++ {
+					if spins > testEmptySpinCap {
+						return fmt.Errorf("simtest: rank %d: TestEmpty never converged", me)
+					}
+					// A real poller does external work between calls;
+					// yield so peers sharing the OS thread progress, and
+					// unwind instead of livelocking if one already died.
+					p.AbortIfPeerFailed()
+					runtime.Gosched()
+				}
+				return nil
+			}
+		} else {
+			barrier = func() error { mb.WaitEmpty(); return nil }
+		}
+	case VariantRound:
+		mb, err := ygm.NewRound(p, handler, opts)
+		if err != nil {
+			return err
+		}
+		send, bcast = mb.Send, mb.SendBcast
+		barrier = func() error { mb.WaitEmpty(); return nil }
+	case VariantSync:
+		mb, err := ygm.NewSync(p, handler, opts)
+		if err != nil {
+			return err
+		}
+		send, bcast = mb.Send, mb.SendBcast
+		barrier = func() error { mb.ExchangeUntilQuiet(); return nil }
+	default:
+		return fmt.Errorf("simtest: unknown variant %v", c.Variant)
+	}
+
+	for phase := 0; phase < c.Phases; phase++ {
+		for i := 0; i < c.Msgs; i++ {
+			if c.BcastEvery > 0 && rng.Intn(c.BcastEvery) == 0 {
+				key := o.recordSend(me, true, machine.Nil, phase)
+				bcast(encodePayload(key, true, phase, 0, machine.Nil, rng.Intn(c.MaxPayload+1)))
+				continue
+			}
+			dst := machine.Rank(rng.Intn(world))
+			key := o.recordSend(me, false, dst, phase)
+			send(dst, encodePayload(key, false, phase, c.TTL, dst, rng.Intn(c.MaxPayload+1)))
+		}
+		if err := barrier(); err != nil {
+			return err
+		}
+		o.checkBarrier(me, phase)
+	}
+	return nil
+}

@@ -1,0 +1,443 @@
+package simtest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"ygm/internal/codec"
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+)
+
+// msgKey identifies one logical application message: the rank that
+// created it and that rank's private sequence number. Broadcast copies
+// of one SendBcast share a key.
+type msgKey struct {
+	origin machine.Rank
+	seq    uint64
+}
+
+func (k msgKey) String() string { return fmt.Sprintf("%d#%d", k.origin, k.seq) }
+
+// payload wire format (encoded with internal/codec):
+//
+//	byte    kind (0 unicast, 1 broadcast)
+//	uvarint origin, seq, phase
+//	uvarint ttl, dst            (unicast only)
+//	bytes0  filler              (content derived from origin/seq)
+//
+// The filler is a deterministic function of the key, so the oracle can
+// verify integrity without storing payload copies.
+const (
+	payloadUnicast = 0
+	payloadBcast   = 1
+)
+
+// msgMeta is one decoded payload header.
+type msgMeta struct {
+	key   msgKey
+	bcast bool
+	phase int
+	ttl   int
+	dst   machine.Rank
+	fill  int
+	// fillOK reports whether the filler bytes matched the deterministic
+	// pattern for the key (payload integrity).
+	fillOK bool
+}
+
+func fillByte(k msgKey, i int) byte {
+	return byte(uint64(k.origin)*131 + k.seq*31 + uint64(i)*7 + 0x5a)
+}
+
+// encodePayload renders one logical message.
+func encodePayload(k msgKey, bcast bool, phase, ttl int, dst machine.Rank, fill int) []byte {
+	w := codec.NewWriter(16 + fill)
+	if bcast {
+		w.Byte(payloadBcast)
+	} else {
+		w.Byte(payloadUnicast)
+	}
+	w.Uvarint(uint64(k.origin))
+	w.Uvarint(k.seq)
+	w.Uvarint(uint64(phase))
+	if !bcast {
+		w.Uvarint(uint64(ttl))
+		w.Uvarint(uint64(dst))
+	}
+	w.Uvarint(uint64(fill))
+	for i := 0; i < fill; i++ {
+		w.Byte(fillByte(k, i))
+	}
+	return w.Bytes()
+}
+
+// decodePayload parses a payload header and verifies the filler.
+func decodePayload(b []byte) (msgMeta, error) {
+	var m msgMeta
+	r := codec.NewReader(b)
+	kind, err := r.Byte()
+	if err != nil {
+		return m, err
+	}
+	switch kind {
+	case payloadUnicast:
+	case payloadBcast:
+		m.bcast = true
+	default:
+		return m, fmt.Errorf("simtest: unknown payload kind %d", kind)
+	}
+	origin, err := r.Uvarint()
+	if err != nil {
+		return m, err
+	}
+	seq, err := r.Uvarint()
+	if err != nil {
+		return m, err
+	}
+	phase, err := r.Uvarint()
+	if err != nil {
+		return m, err
+	}
+	m.key = msgKey{origin: machine.Rank(origin), seq: seq}
+	m.phase = int(phase)
+	m.dst = machine.Nil
+	if !m.bcast {
+		ttl, err := r.Uvarint()
+		if err != nil {
+			return m, err
+		}
+		dst, err := r.Uvarint()
+		if err != nil {
+			return m, err
+		}
+		m.ttl = int(ttl)
+		m.dst = machine.Rank(dst)
+	}
+	fill, err := r.Uvarint()
+	if err != nil {
+		return m, err
+	}
+	m.fill = int(fill)
+	m.fillOK = true
+	for i := 0; i < m.fill; i++ {
+		c, err := r.Byte()
+		if err != nil {
+			return m, err
+		}
+		if c != fillByte(m.key, i) {
+			m.fillOK = false
+		}
+	}
+	if r.Remaining() != 0 {
+		return m, fmt.Errorf("simtest: %d trailing payload bytes", r.Remaining())
+	}
+	return m, nil
+}
+
+// sendRec is one logical send, recorded by its origin.
+type sendRec struct {
+	key   msgKey
+	bcast bool
+	dst   machine.Rank // unicast only
+	phase int
+}
+
+// hopEdge is one record movement: the record left rank at for rank hop.
+type hopEdge struct {
+	key      msgKey
+	at, hop  machine.Rank
+	bcast    bool
+	parseErr string
+}
+
+// delivRec is one handler invocation.
+type delivRec struct {
+	key      msgKey
+	at       machine.Rank
+	bcast    bool
+	dst      machine.Rank
+	phase    int
+	fillOK   bool
+	parseErr string
+}
+
+// rankLog is the goroutine-confined event log of one rank. Each rank's
+// goroutine appends to its own log only; logs are merged after every
+// goroutine has joined, so no locking is needed.
+type rankLog struct {
+	sends    []sendRec
+	hops     []hopEdge
+	delivs   []delivRec
+	barriers []string // violations observed at barrier return
+	seq      uint64   // next message sequence number for this origin
+}
+
+// oracle records every logical send, hop, and delivery of one run and
+// checks the delivery semantics afterwards. It implements ygm.Tap
+// (record-movement events) and transport.Tracer (packet conservation).
+type oracle struct {
+	topo   machine.Topology
+	scheme machine.Scheme
+	ranks  []rankLog
+
+	// expected/delivered count final deliveries per phase: a unicast
+	// send adds 1 to expected (self-sends included), a broadcast adds
+	// WorldSize-1. The barrier invariant is delivered == expected for
+	// every phase at or before the barrier's.
+	expected  []atomic.Uint64
+	delivered []atomic.Uint64
+
+	// pktSent/pktRecv count transport packets (all tags); a clean run
+	// conserves them — anything sent is received before the run ends.
+	pktSent atomic.Uint64
+	pktRecv atomic.Uint64
+
+	// remote caches each rank's allowed remote partner set.
+	remote []map[machine.Rank]bool
+}
+
+func newOracle(topo machine.Topology, scheme machine.Scheme, phases int) *oracle {
+	o := &oracle{
+		topo:      topo,
+		scheme:    scheme,
+		ranks:     make([]rankLog, topo.WorldSize()),
+		expected:  make([]atomic.Uint64, phases),
+		delivered: make([]atomic.Uint64, phases),
+		remote:    make([]map[machine.Rank]bool, topo.WorldSize()),
+	}
+	for r := range o.remote {
+		set := make(map[machine.Rank]bool)
+		for _, p := range topo.RemotePartners(scheme, machine.Rank(r)) {
+			set[p] = true
+		}
+		o.remote[r] = set
+	}
+	return o
+}
+
+// RecordQueued implements ygm.Tap: invoked on the queueing rank's
+// goroutine for every record entering a coalescing buffer.
+func (o *oracle) RecordQueued(at, hop, dst machine.Rank, bcast bool, payload []byte) {
+	e := hopEdge{at: at, hop: hop, bcast: bcast}
+	m, err := decodePayload(payload)
+	if err != nil {
+		e.parseErr = err.Error()
+	} else {
+		e.key = m.key
+	}
+	o.ranks[at].hops = append(o.ranks[at].hops, e)
+}
+
+// PacketSent implements transport.Tracer.
+func (o *oracle) PacketSent(src, dst machine.Rank, tag transport.Tag, size int, sent, arrive float64) {
+	o.pktSent.Add(1)
+}
+
+// PacketReceived implements transport.Tracer.
+func (o *oracle) PacketReceived(src, dst machine.Rank, tag transport.Tag, size int, now float64) {
+	o.pktRecv.Add(1)
+}
+
+// recordSend logs one logical send on the origin's goroutine, before the
+// mailbox call, and bumps the phase expectation.
+func (o *oracle) recordSend(origin machine.Rank, bcast bool, dst machine.Rank, phase int) msgKey {
+	rk := &o.ranks[origin]
+	key := msgKey{origin: origin, seq: rk.seq}
+	rk.seq++
+	rk.sends = append(rk.sends, sendRec{key: key, bcast: bcast, dst: dst, phase: phase})
+	if bcast {
+		o.expected[phase].Add(uint64(o.topo.WorldSize() - 1))
+	} else {
+		o.expected[phase].Add(1)
+	}
+	return key
+}
+
+// recordDelivery logs one handler invocation on the delivering rank's
+// goroutine and returns the decoded header for spawn decisions.
+func (o *oracle) recordDelivery(at machine.Rank, payload []byte) (msgMeta, bool) {
+	d := delivRec{at: at}
+	m, err := decodePayload(payload)
+	if err != nil {
+		d.parseErr = err.Error()
+		o.ranks[at].delivs = append(o.ranks[at].delivs, d)
+		return m, false
+	}
+	d.key, d.bcast, d.dst, d.phase, d.fillOK = m.key, m.bcast, m.dst, m.phase, m.fillOK
+	o.ranks[at].delivs = append(o.ranks[at].delivs, d)
+	if m.phase < len(o.delivered) {
+		o.delivered[m.phase].Add(1)
+	}
+	return m, true
+}
+
+// checkBarrier runs on a rank's goroutine the moment its phase-p barrier
+// (WaitEmpty, TestEmpty-true, or ExchangeUntilQuiet) returns: every
+// phase at or before p must be fully delivered, or the barrier released
+// the rank while messages were in flight.
+func (o *oracle) checkBarrier(at machine.Rank, phase int) {
+	for q := 0; q <= phase && q < len(o.expected); q++ {
+		exp, got := o.expected[q].Load(), o.delivered[q].Load()
+		if exp != got {
+			o.ranks[at].barriers = append(o.ranks[at].barriers, fmt.Sprintf(
+				"rank %d returned from its phase-%d barrier with phase %d incomplete: %d of %d deliveries",
+				at, phase, q, got, exp))
+		}
+	}
+}
+
+// validate merges the per-rank logs and checks every delivery-semantics
+// property. It must be called only after transport.Run has returned (all
+// rank goroutines joined). A nil return means the run conformed.
+func (o *oracle) validate() error {
+	var errs []string
+	fail := func(format string, args ...any) {
+		if len(errs) < 12 {
+			errs = append(errs, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Merge logs.
+	sends := make(map[msgKey]sendRec)
+	for r := range o.ranks {
+		for _, s := range o.ranks[r].sends {
+			sends[s.key] = s
+		}
+		for _, v := range o.ranks[r].barriers {
+			fail("%s", v)
+		}
+	}
+	delivs := make(map[msgKey][]delivRec)
+	for r := range o.ranks {
+		for _, d := range o.ranks[r].delivs {
+			if d.parseErr != "" {
+				fail("rank %d delivered a corrupt payload: %s", r, d.parseErr)
+				continue
+			}
+			if !d.fillOK {
+				fail("rank %d delivered message %s with mangled filler bytes", r, d.key)
+			}
+			delivs[d.key] = append(delivs[d.key], d)
+		}
+	}
+	edges := make(map[msgKey][]hopEdge)
+	for r := range o.ranks {
+		for _, e := range o.ranks[r].hops {
+			if e.parseErr != "" {
+				fail("rank %d queued a corrupt record: %s", r, e.parseErr)
+				continue
+			}
+			edges[e.key] = append(edges[e.key], e)
+		}
+	}
+
+	// Exactly-once delivery at the correct ranks.
+	for key, s := range sends {
+		got := delivs[key]
+		if s.bcast {
+			byRank := make(map[machine.Rank]int)
+			for _, d := range got {
+				byRank[d.at]++
+			}
+			for r := machine.Rank(0); int(r) < o.topo.WorldSize(); r++ {
+				switch n := byRank[r]; {
+				case r == s.key.origin && n != 0:
+					fail("broadcast %s delivered %d times at its own origin", key, n)
+				case r != s.key.origin && n == 0:
+					fail("broadcast %s from rank %d never delivered at rank %d", key, s.key.origin, r)
+				case r != s.key.origin && n > 1:
+					fail("broadcast %s delivered %d times at rank %d", key, n, r)
+				}
+			}
+			continue
+		}
+		switch {
+		case len(got) == 0:
+			fail("message %s from rank %d to rank %d was never delivered", key, s.key.origin, s.dst)
+		case len(got) > 1:
+			fail("message %s delivered %d times (exactly-once violated)", key, len(got))
+		case got[0].at != s.dst:
+			fail("message %s addressed to rank %d delivered at rank %d", key, s.dst, got[0].at)
+		}
+	}
+	// Spurious deliveries: nothing may arrive that was never sent.
+	for key, got := range delivs {
+		if _, ok := sends[key]; !ok {
+			fail("delivery of unknown message %s at rank %d", key, got[0].at)
+		}
+	}
+
+	// Hop-sequence conformance for unicast routes, and channel
+	// constraints for every record transmission.
+	o.validateRoutes(sends, edges, fail)
+
+	// Packet conservation: the transport trace must balance, or the run
+	// ended with traffic still in flight.
+	if s, r := o.pktSent.Load(), o.pktRecv.Load(); s != r {
+		fail("packet conservation violated: %d packets sent, %d received", s, r)
+	}
+	// Post-run phase totals (subsumes the per-barrier checks, but
+	// catches runs whose final barrier was itself premature).
+	for p := range o.expected {
+		if exp, got := o.expected[p].Load(), o.delivered[p].Load(); exp != got {
+			fail("phase %d ended with %d of %d deliveries", p, got, exp)
+		}
+	}
+
+	if len(errs) == 0 {
+		return nil
+	}
+	sort.Strings(errs)
+	return fmt.Errorf("oracle: %d violation(s):\n  %s", len(errs), strings.Join(errs, "\n  "))
+}
+
+// validateRoutes checks each unicast message's reconstructed hop chain
+// against machine.Path and every remote record movement against the
+// scheme's channel set.
+func (o *oracle) validateRoutes(sends map[msgKey]sendRec, edges map[msgKey][]hopEdge, fail func(string, ...any)) {
+	for key, es := range edges {
+		for _, e := range es {
+			if e.at == e.hop {
+				fail("message %s self-hop at rank %d", key, e.at)
+			}
+			if !o.topo.SameNode(e.at, e.hop) && !o.remote[e.at][e.hop] {
+				fail("remote channel violation: %v", o.topo.CheckRemoteEdge(o.scheme, e.at, e.hop))
+			}
+		}
+	}
+	for key, s := range sends {
+		if s.bcast || s.dst == s.key.origin {
+			// Broadcast fan-out trees and synchronous self-deliveries
+			// have no single canonical chain; their hop edges are still
+			// channel-checked above.
+			continue
+		}
+		next := make(map[machine.Rank]machine.Rank, len(edges[key]))
+		for _, e := range edges[key] {
+			if prev, dup := next[e.at]; dup {
+				fail("message %s forwarded twice from rank %d (to %d and %d)", key, e.at, prev, e.hop)
+			}
+			next[e.at] = e.hop
+		}
+		var hops []machine.Rank
+		cur := s.key.origin
+		for len(hops) <= len(next) {
+			h, ok := next[cur]
+			if !ok {
+				break
+			}
+			hops = append(hops, h)
+			cur = h
+		}
+		if len(hops) != len(next) {
+			fail("message %s hop edges do not form a chain from rank %d: %v", key, s.key.origin, edges[key])
+			continue
+		}
+		if err := o.topo.CheckHops(o.scheme, s.key.origin, s.dst, hops); err != nil {
+			fail("path conformance: message %s: %v", key, err)
+		}
+	}
+}

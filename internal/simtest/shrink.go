@@ -1,0 +1,94 @@
+package simtest
+
+import "fmt"
+
+// StillFails reports whether c fails at least once in attempts runs.
+// Failures can depend on host goroutine scheduling (the virtual clock is
+// deterministic, but packet physical-presence interleavings are not), so
+// the shrinker confirms each candidate with several attempts rather than
+// trusting a single run.
+func StillFails(c Case, attempts int) bool {
+	for i := 0; i < attempts; i++ {
+		if RunCase(c) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Shrink greedily minimizes a failing case: it tries one reduction at a
+// time (smaller topology, fewer phases, fewer messages, features
+// disabled) and keeps any candidate for which fails returns true,
+// repeating until no reduction survives. The result is the smallest
+// still-failing case found, ready for ReproCommand.
+func Shrink(c Case, fails func(Case) bool) Case {
+	for steps := 0; steps < 200; steps++ {
+		improved := false
+		for _, cand := range reductions(c) {
+			if fails(cand) {
+				c = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return c
+		}
+	}
+	return c
+}
+
+// reductions proposes simpler variants of c, most aggressive first.
+func reductions(c Case) []Case {
+	var out []Case
+	add := func(m Case) {
+		if m != c && m.validate() == nil {
+			out = append(out, m)
+		}
+	}
+	m := c
+	m.Nodes = (c.Nodes + 1) / 2
+	add(m)
+	m = c
+	m.Nodes = c.Nodes - 1
+	add(m)
+	m = c
+	m.Cores = (c.Cores + 1) / 2
+	add(m)
+	m = c
+	m.Cores = c.Cores - 1
+	add(m)
+	m = c
+	m.Phases = 1
+	add(m)
+	m = c
+	m.Phases = c.Phases - 1
+	add(m)
+	m = c
+	m.Msgs = c.Msgs / 2
+	add(m)
+	m = c
+	m.Msgs = c.Msgs - 1
+	add(m)
+	m = c
+	m.TTL = 0
+	add(m)
+	m = c
+	m.BcastEvery = 0
+	add(m)
+	m = c
+	m.MaxPayload = 0
+	add(m)
+	m = c
+	m.Jitter = false
+	add(m)
+	m = c
+	m.TestEmptyBarrier = false
+	add(m)
+	return out
+}
+
+// ReproCommand renders the single go test invocation that replays c.
+func ReproCommand(c Case) string {
+	return fmt.Sprintf("go test ./internal/simtest -run 'TestSimFuzz$' -case='%s'", c)
+}

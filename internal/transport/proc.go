@@ -32,6 +32,23 @@ type Proc struct {
 	// checkLastNow is the last virtual time observed by the ygmcheck
 	// clock-monotonicity assertion; unused in default builds.
 	checkLastNow float64
+
+	// commNonce counts communicator constructions on this rank; see
+	// CommNonce.
+	commNonce uint64
+
+	// lastArrive tracks, per (dst, tag) channel, the latest arrival time
+	// this rank has assigned to a packet. Allocated only when a delay
+	// injector is active: injected delays must not let a later send
+	// overtake an earlier one on the same channel, or they would violate
+	// the MPI non-overtaking guarantee the upper layers rely on.
+	lastArrive map[chanKey]float64
+}
+
+// chanKey identifies one ordered (destination, tag) channel.
+type chanKey struct {
+	dst machine.Rank
+	tag Tag
 }
 
 // Rank returns this rank's flat identifier.
@@ -61,6 +78,17 @@ func (p *Proc) Stats() *Stats { return &p.stats }
 // Rng returns a deterministic per-rank random source seeded from the
 // Config seed and the rank id.
 func (p *Proc) Rng() *rand.Rand { return p.rng }
+
+// CommNonce returns an incrementing per-rank counter. The collective
+// layer folds it into each communicator's tag space so that distinct
+// communicators with identical member lists (which hash alike) cannot
+// cross-talk. Communicator construction is collective and happens in
+// program order on every member, so all members of one communicator
+// observe the same nonce.
+func (p *Proc) CommNonce() uint64 {
+	p.commNonce++
+	return p.commNonce
+}
 
 // Compute advances the virtual clock by d seconds of application work,
 // scaled by any straggler factor configured for this rank.
@@ -95,13 +123,33 @@ func (p *Proc) Send(dst machine.Rank, tag Tag, payload []byte) {
 	} else {
 		transfer = w.model.RemoteTransferTime(len(payload))
 	}
+	if w.delay != nil {
+		if extra := w.delay(p.rank, dst, tag, len(payload)); extra > 0 {
+			transfer += extra
+		}
+	}
 	p.stats.recordSend(dst, tag, len(payload), local, w.trackPartners)
+	arrive := p.clock.Now() + transfer
+	if w.delay != nil {
+		// Clamp so injected delay never reorders a channel.
+		if p.lastArrive == nil {
+			p.lastArrive = make(map[chanKey]float64)
+		}
+		key := chanKey{dst: dst, tag: tag}
+		if last := p.lastArrive[key]; arrive < last {
+			arrive = last
+		}
+		p.lastArrive[key] = arrive
+	}
 	w.inboxes[dst].Push(&Packet{
 		Src:     p.rank,
 		Tag:     tag,
-		Arrive:  p.clock.Now() + transfer,
+		Arrive:  arrive,
 		Payload: payload,
 	})
+	if w.trace != nil {
+		w.trace.PacketSent(p.rank, dst, tag, len(payload), p.clock.Now(), arrive)
+	}
 }
 
 // Recv blocks until a packet with the given tag arrives, fast-forwards
@@ -127,6 +175,9 @@ func (p *Proc) Poll(tag Tag) *Packet {
 		p.clock.Advance(p.world.model.RecvOverheadFor(p.world.topo.SameNode(p.rank, pkt.Src)))
 		p.stats.RecvMsgs++
 		p.checkClockMonotone()
+		if p.world.trace != nil {
+			p.world.trace.PacketReceived(pkt.Src, p.rank, pkt.Tag, len(pkt.Payload), p.clock.Now())
+		}
 	}
 	return pkt
 }
@@ -166,6 +217,9 @@ func (p *Proc) absorb(pkt *Packet) {
 	p.clock.Advance(p.world.model.RecvOverheadFor(p.world.topo.SameNode(p.rank, pkt.Src)))
 	p.stats.RecvMsgs++
 	p.checkClockMonotone()
+	if p.world.trace != nil {
+		p.world.trace.PacketReceived(pkt.Src, p.rank, pkt.Tag, len(pkt.Payload), p.clock.Now())
+	}
 }
 
 // BigJump reports the packet that caused this rank's largest arrival

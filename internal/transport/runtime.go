@@ -35,6 +35,13 @@ type Config struct {
 	// Zero selects the default (250ms); a negative value disables the
 	// watchdog entirely.
 	WatchdogInterval time.Duration
+	// Trace, when non-nil, receives every packet send and receive event.
+	// It must be safe for concurrent use; see Tracer. Nil disables
+	// tracing at the cost of one branch per event.
+	Trace Tracer
+	// Delay, when non-nil, adds extra virtual flight time to each packet
+	// (fault injection for schedule exploration); see DelayFn.
+	Delay DelayFn
 }
 
 // World holds the shared state of a run: one inbox per rank plus the
@@ -44,12 +51,19 @@ type World struct {
 	model         netsim.Model
 	inboxes       []*Inbox
 	trackPartners bool
+	trace         Tracer
+	delay         DelayFn
 
 	// active counts ranks whose SPMD body is still running; the deadlock
 	// watchdog compares it against the number of blocked receivers.
 	active atomic.Int64
 	// poisoned is set once the watchdog declares deadlock.
 	poisoned atomic.Bool
+	// failed is set when any rank's body panics or returns an error.
+	// Nonblocking progress loops consult it (via Proc.AbortIfPeerFailed)
+	// so one rank's failure cannot livelock peers that never enter a
+	// blocking receive — the deadlock watchdog only sees blocked ranks.
+	failed atomic.Bool
 	// dead collects per-rank state dumps, self-reported by each rank as
 	// it unwinds from a poisoned receive (index = rank, written by the
 	// owning rank only, read after all goroutines join).
@@ -149,6 +163,8 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 		model:         cfg.Model,
 		inboxes:       make([]*Inbox, size),
 		trackPartners: cfg.TrackPartners,
+		trace:         cfg.Trace,
+		delay:         cfg.Delay,
 	}
 	for i := range w.inboxes {
 		w.inboxes[i] = NewInbox()
@@ -193,11 +209,14 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 						errs[r] = errRankDeadlocked
 					} else {
 						errs[r] = fmt.Errorf("transport: rank %d panicked: %v\n%s", r, rec, debug.Stack())
+						w.failed.Store(true)
 						// A dead rank usually deadlocks its peers (they wait
 						// on its messages); surface the cause immediately
 						// rather than only after every goroutine unwinds.
 						fmt.Fprintf(os.Stderr, "transport: rank %d died: %v\n", r, rec)
 					}
+				} else if errs[r] != nil {
+					w.failed.Store(true)
 				}
 				report.Ranks[r] = RankReport{
 					Rank:          r,

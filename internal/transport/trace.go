@@ -1,0 +1,32 @@
+package transport
+
+import "ygm/internal/machine"
+
+// Tracer observes every packet-level event of a run. It is the
+// transport's test/diagnostic tap: the simulation-fuzz harness uses it
+// to prove packet conservation (everything sent is eventually received)
+// and to correlate schedules with oracle verdicts.
+//
+// A Tracer is shared by all rank goroutines and must be safe for
+// concurrent use. The default (nil) path costs one predictable branch
+// per event and allocates nothing; implementations must not retain the
+// payload-backed state of a packet beyond the call.
+type Tracer interface {
+	// PacketSent fires on the sender's goroutine after the packet has
+	// been charged and enqueued: sent is the sender's virtual clock at
+	// the end of Send, arrive the packet's virtual arrival at dst.
+	PacketSent(src, dst machine.Rank, tag Tag, size int, sent, arrive float64)
+	// PacketReceived fires on the receiver's goroutine after a packet
+	// has been popped and absorbed (Recv, Drain, or Poll): now is the
+	// receiver's virtual clock after absorbing it.
+	PacketReceived(src, dst machine.Rank, tag Tag, size int, now float64)
+}
+
+// DelayFn perturbs one packet's virtual flight time: the returned value
+// (clamped to >= 0) is added to the model transfer time before the
+// arrival timestamp is computed. It runs on the sender's goroutine, so
+// per-source state needs no locking; implementations must be
+// deterministic functions of their own seeded state for runs to stay
+// reproducible. The simulation-fuzz harness uses it to jitter delivery
+// schedules without touching delivery semantics.
+type DelayFn func(src, dst machine.Rank, tag Tag, size int) float64

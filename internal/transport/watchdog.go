@@ -59,6 +59,19 @@ func (e *DeadlockError) Error() string {
 // RankDeadState; Run's recover treats it as an orderly unwind.
 type rankDeadlocked struct{}
 
+// AbortIfPeerFailed unwinds the calling rank if another rank has already
+// failed (panic or error return) or the run was poisoned. Nonblocking
+// progress loops — which never park in a receive, so neither a peer's
+// death nor the deadlock watchdog can interrupt them — must call this on
+// their idle path or a failed run livelocks them forever. The unwind
+// follows the orderly deadlock path, so Run reports the original failure
+// rather than this secondary exit.
+func (p *Proc) AbortIfPeerFailed() {
+	if p.world.failed.Load() || p.world.poisoned.Load() {
+		p.deadlockExit(0)
+	}
+}
+
 // deadlockExit records this rank's state for the aggregated dump and
 // unwinds the rank. Called from Recv when its inbox has been poisoned.
 func (p *Proc) deadlockExit(tag Tag) {

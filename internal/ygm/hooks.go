@@ -1,0 +1,65 @@
+package ygm
+
+import "ygm/internal/machine"
+
+// Tap observes mailbox-internal record movement. It is the oracle
+// instrumentation point of the simulation-fuzz harness: every record
+// entering a coalescing buffer (at the origin or at a forwarding
+// intermediary) is reported before it is encoded, which lets an
+// external oracle reconstruct the exact hop sequence of each logical
+// message and compare it against machine.Path.
+//
+// RecordQueued is invoked on the goroutine of the queueing rank; a Tap
+// shared across ranks must be safe for concurrent use. The payload
+// slice may alias mailbox buffers and must not be retained or mutated.
+// A nil Tap (the default) costs one branch per record and nothing else.
+type Tap interface {
+	// RecordQueued reports one record queued on rank at, bound for hop
+	// on the next exchange. For unicast records dst is the final
+	// destination; for broadcast-stage records dst is machine.Nil and
+	// bcast is true.
+	RecordQueued(at, hop, dst machine.Rank, bcast bool, payload []byte)
+}
+
+// TestHooks are deliberate fault-injection points, used exclusively by
+// the simulation-fuzz mutation smoke tests to prove the delivery oracle
+// has teeth: a harness whose oracle cannot catch a wrong next hop, a
+// dropped delivery, or a premature termination verdict is vacuous.
+// All fields nil (and the whole pointer nil) in production; each site
+// guards with a single nil check, so the default path is unchanged.
+type TestHooks struct {
+	// NextHop, when non-nil, replaces topology routing for unicast
+	// records (both at the origin and at intermediaries).
+	NextHop func(t machine.Topology, s machine.Scheme, cur, dst machine.Rank) machine.Rank
+	// DropDelivery, when non-nil and returning true, silently discards
+	// a message instead of invoking the handler — a lost delivery that
+	// leaves every transport-level counter balanced.
+	DropDelivery func(at machine.Rank, payload []byte) bool
+	// ForceVerdict, when non-nil, replaces rank 0's termination verdict
+	// for one generation. balanced and unchanged are the two halves of
+	// the honest four-counter condition; returning true while either is
+	// false manufactures a premature termination.
+	ForceVerdict func(balanced, unchanged bool) bool
+}
+
+// nextHop routes one unicast record held by cur, honoring a mutation
+// hook when installed.
+func (o Options) nextHop(t machine.Topology, cur, dst machine.Rank) machine.Rank {
+	if o.Hooks != nil && o.Hooks.NextHop != nil {
+		return o.Hooks.NextHop(t, o.Scheme, cur, dst)
+	}
+	return t.NextHop(o.Scheme, cur, dst)
+}
+
+// tapQueued reports one queued record to the tap, if any.
+func (o Options) tapQueued(at, hop, dst machine.Rank, kind recordKind, payload []byte) {
+	if o.Tap != nil {
+		o.Tap.RecordQueued(at, hop, dst, kind != kindUnicast, payload)
+	}
+}
+
+// dropDelivery reports whether the drop-injection hook claims this
+// delivery.
+func (o Options) dropDelivery(at machine.Rank, payload []byte) bool {
+	return o.Hooks != nil && o.Hooks.DropDelivery != nil && o.Hooks.DropDelivery(at, payload)
+}

@@ -1,0 +1,30 @@
+package ygm
+
+import (
+	"testing"
+
+	"ygm/internal/machine"
+)
+
+// TestHookFastPathAllocs pins the cost of the oracle instrumentation
+// points when disabled: a nil Tap and nil TestHooks must be a branch,
+// not an allocation, so production runs are unaffected by the
+// simulation-fuzz plumbing.
+func TestHookFastPathAllocs(t *testing.T) {
+	topo := machine.New(2, 4)
+	opts := Options{Scheme: machine.NLNR}
+	payload := []byte{1, 2, 3, 4}
+	var sink machine.Rank
+
+	allocs := testing.AllocsPerRun(100, func() {
+		opts.tapQueued(0, 1, 5, kindUnicast, payload)
+		sink = opts.nextHop(topo, 0, 5)
+		if opts.dropDelivery(0, payload) {
+			t.Fatal("nil hooks reported a drop")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hook path allocated %.1f times per op, want 0", allocs)
+	}
+	_ = sink
+}

@@ -66,6 +66,12 @@ type Options struct {
 	// Exchange selects the exchange semantics used by NewBox. Default
 	// RoundExchange.
 	Exchange ExchangeStyle
+	// Tap, when non-nil, observes every record queued for an exchange
+	// (oracle instrumentation; see Tap). Nil in production.
+	Tap Tap
+	// Hooks, when non-nil, inject deliberate faults for the mutation
+	// smoke tests (see TestHooks). Nil in production.
+	Hooks *TestHooks
 }
 
 // Box is the mailbox surface the applications program against: queue
@@ -171,6 +177,7 @@ func New(p *transport.Proc, handler Handler, opts Options) *Mailbox {
 		bufCount: make(map[machine.Rank]int),
 	}
 	mb.term.init(p, &mb.stats)
+	mb.term.hooks = mb.opts.Hooks
 	return mb
 }
 
@@ -196,7 +203,7 @@ func (mb *Mailbox) Send(dst machine.Rank, payload []byte) {
 		mb.deliver(payload)
 		return
 	}
-	hop := mb.p.Topo().NextHop(mb.opts.Scheme, mb.p.Rank(), dst)
+	hop := mb.opts.nextHop(mb.p.Topo(), mb.p.Rank(), dst)
 	mb.enqueue(hop, kindUnicast, dst, payload)
 	mb.afterQueue()
 	mb.checkCapacityBound()
@@ -285,6 +292,7 @@ func (mb *Mailbox) enqueue(hop machine.Rank, kind recordKind, dst machine.Rank, 
 	appendRecord(w, kind, dst, payload)
 	mb.bufCount[hop]++
 	mb.queued++
+	mb.opts.tapQueued(mb.p.Rank(), hop, dst, kind, payload)
 }
 
 // afterQueue runs the capacity check and opportunistic poll that follow
@@ -400,7 +408,7 @@ func (mb *Mailbox) dispatch(rec record) {
 			mb.deliver(rec.payload)
 			return
 		}
-		hop := topo.NextHop(mb.opts.Scheme, me, rec.dst)
+		hop := mb.opts.nextHop(topo, me, rec.dst)
 		mb.enqueue(hop, kindUnicast, rec.dst, mb.copyPayload(rec.payload))
 	case kindBcastDeliver:
 		mb.deliver(rec.payload)
@@ -441,6 +449,9 @@ func (mb *Mailbox) copyPayload(b []byte) []byte {
 
 // deliver invokes the handler, charging the per-message compute cost.
 func (mb *Mailbox) deliver(payload []byte) {
+	if mb.opts.dropDelivery(mb.p.Rank(), payload) {
+		return
+	}
 	mb.stats.Delivered++
 	mb.p.Compute(mb.p.Model().ComputePerMessage)
 	mb.handler(mb, payload)

@@ -136,6 +136,7 @@ func NewRound(p *transport.Proc, handler Handler, opts Options) (*RoundMailbox, 
 		mb.stages[s].next = make(map[machine.Rank]*roundBuf)
 	}
 	mb.term.init(p, &mb.stats)
+	mb.term.hooks = mb.opts.Hooks
 	return mb, nil
 }
 
@@ -156,7 +157,7 @@ func (mb *RoundMailbox) Send(dst machine.Rank, payload []byte) {
 		mb.deliver(payload)
 		return
 	}
-	hop := mb.p.Topo().NextHop(mb.opts.Scheme, mb.p.Rank(), dst)
+	hop := mb.opts.nextHop(mb.p.Topo(), mb.p.Rank(), dst)
 	mb.enqueue(hop, kindUnicast, dst, payload)
 	mb.maybeRound()
 }
@@ -259,6 +260,7 @@ func (mb *RoundMailbox) enqueue(hop machine.Rank, kind recordKind, dst machine.R
 	appendRecord(&b.w, kind, dst, payload)
 	b.count++
 	mb.queued++
+	mb.opts.tapQueued(mb.p.Rank(), hop, dst, kind, payload)
 }
 
 // maybeRound runs exchange rounds while the queue exceeds capacity.
@@ -348,7 +350,7 @@ func (mb *RoundMailbox) dispatch(rec record) {
 			mb.deliver(rec.payload)
 			return
 		}
-		mb.enqueue(topo.NextHop(mb.opts.Scheme, me, rec.dst), kindUnicast, rec.dst, detach(rec.payload))
+		mb.enqueue(mb.opts.nextHop(topo, me, rec.dst), kindUnicast, rec.dst, detach(rec.payload))
 	case kindBcastDeliver:
 		mb.deliver(rec.payload)
 	case kindBcastLocalFanout:
@@ -378,6 +380,9 @@ func (mb *RoundMailbox) dispatch(rec record) {
 }
 
 func (mb *RoundMailbox) deliver(payload []byte) {
+	if mb.opts.dropDelivery(mb.p.Rank(), payload) {
+		return
+	}
 	mb.stats.Delivered++
 	mb.p.Compute(mb.p.Model().ComputePerMessage)
 	mb.handler(mb, payload)
@@ -413,7 +418,10 @@ func (mb *RoundMailbox) WaitEmpty() {
 			return
 		}
 		if mb.queued == 0 && !mb.roundTrafficPending() {
-			// Idle: let peers progress on the shared host CPU.
+			// Idle: let peers progress on the shared host CPU. If a peer
+			// already died this loop would spin forever (nothing blocks,
+			// so the deadlock watchdog cannot see it) — unwind instead.
+			mb.p.AbortIfPeerFailed()
 			runtime.Gosched()
 		}
 	}

@@ -157,7 +157,7 @@ func (mb *SyncMailbox) Send(dst machine.Rank, payload []byte) {
 		mb.deliver(payload)
 		return
 	}
-	hop := mb.p.Topo().NextHop(mb.opts.Scheme, mb.p.Rank(), dst)
+	hop := mb.opts.nextHop(mb.p.Topo(), mb.p.Rank(), dst)
 	mb.push(hop, kindUnicast, dst, payload)
 }
 
@@ -223,9 +223,13 @@ func (mb *SyncMailbox) push(hop machine.Rank, kind recordKind, dst machine.Rank,
 		panic("ygm: routing produced a self-hop")
 	}
 	mb.queue = append(mb.queue, syncRecord{hop: hop, kind: kind, dst: dst, payload: payload})
+	mb.opts.tapQueued(mb.p.Rank(), hop, dst, kind, payload)
 }
 
 func (mb *SyncMailbox) deliver(payload []byte) {
+	if mb.opts.dropDelivery(mb.p.Rank(), payload) {
+		return
+	}
 	mb.stats.Delivered++
 	mb.p.Compute(mb.p.Model().ComputePerMessage)
 	mb.handler(mb, payload)
@@ -312,7 +316,7 @@ func (mb *SyncMailbox) dispatch(rec record) {
 			mb.deliver(rec.payload)
 			return
 		}
-		mb.push(topo.NextHop(mb.opts.Scheme, me, rec.dst), kindUnicast, rec.dst, detach(rec.payload))
+		mb.push(mb.opts.nextHop(topo, me, rec.dst), kindUnicast, rec.dst, detach(rec.payload))
 	case kindBcastDeliver:
 		mb.deliver(rec.payload)
 	case kindBcastLocalFanout:

@@ -39,6 +39,10 @@ type termDetector struct {
 	children []int // world-rank children in the binomial tree (root 0)
 	parent   int   // world-rank parent, -1 for rank 0
 
+	// hooks carries the mutation-test fault injection points (nil in
+	// production); only ForceVerdict applies here.
+	hooks *TestHooks
+
 	// pending buffers contributions/verdicts that physically arrived
 	// ahead of this rank's progress through their generation.
 	pendingContrib map[uint64][][2]uint64
@@ -159,8 +163,12 @@ func (td *termDetector) verdict() bool {
 	unchanged := td.havePrev && td.accS == td.prevS && td.accR == td.prevR
 	td.prevS, td.prevR = td.accS, td.accR
 	td.havePrev = true
-	td.checkVerdictBalanced(balanced && unchanged)
-	return balanced && unchanged
+	done := balanced && unchanged
+	if td.hooks != nil && td.hooks.ForceVerdict != nil {
+		done = td.hooks.ForceVerdict(balanced, unchanged)
+	}
+	td.checkVerdictBalanced(done)
+	return done
 }
 
 // relayVerdict forwards the verdict for the current generation down the
