@@ -41,8 +41,15 @@ func run(args []string) error {
 	mailbox := fs.Int("mailbox", 0, "override mailbox capacity (records)")
 	format := fs.String("format", "table", "output format: table or csv")
 	list := fs.Bool("list", false, "list experiments and exit")
+	benchJSON := fs.String("bench-json", "", "collect the regression baseline and write it to this path")
+	benchCompare := fs.String("bench-compare", "", "collect a fresh baseline and gate it against this committed file")
+	benchRounds := fs.Int("bench-rounds", 3, "micro-bench rounds per entry for -bench-json/-bench-compare (best kept)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchJSON != "" || *benchCompare != "" {
+		return runBaseline(*benchJSON, *benchCompare, *benchRounds)
 	}
 
 	if *list {
@@ -117,6 +124,41 @@ func run(args []string) error {
 		}
 		table.Print(os.Stdout)
 		fmt.Printf("(generated in %.1fs wall)\n\n", time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// runBaseline implements -bench-json (collect and write) and
+// -bench-compare (collect and gate against a committed file). Both may be
+// given together: the fresh measurement is written, then gated.
+func runBaseline(writePath, comparePath string, rounds int) error {
+	fmt.Printf("# collecting micro benches (%d rounds each) + figure sim-seconds\n", rounds)
+	current := bench.CollectBaseline(rounds)
+	for _, m := range current.Micro {
+		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+	for _, f := range current.Figures {
+		fmt.Printf("%-24s %12.4f simulated s\n", f.ID, f.SimSeconds)
+	}
+	if writePath != "" {
+		if err := current.WriteJSON(writePath); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", writePath)
+	}
+	if comparePath != "" {
+		committed, err := bench.LoadBaseline(comparePath)
+		if err != nil {
+			return err
+		}
+		if regressions := bench.CompareBaseline(committed, current); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+			}
+			return fmt.Errorf("%d benchmark regression(s) against %s", len(regressions), comparePath)
+		}
+		fmt.Printf("# no regressions against %s\n", comparePath)
 	}
 	return nil
 }

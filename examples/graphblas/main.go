@@ -40,7 +40,7 @@ func main() {
 		Model: netsim.Quartz(),
 		Seed:  23,
 	}, func(p *transport.Proc) error {
-		ctx := grb.NewContext(p, ygm.Options{Scheme: machine.NLNR, Capacity: 512})
+		ctx := grb.NewContext(p, ygm.WithScheme(machine.NLNR), ygm.WithCapacity(512))
 
 		// Each rank contributes its share of a symmetric adjacency.
 		gen := graph.NewRMAT(graph.Graph500, *scale, 23+int64(p.Rank()))

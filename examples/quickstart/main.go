@@ -38,9 +38,12 @@ func main() {
 			// Receive callbacks may send more messages: rank 0 answers
 			// each greeting with a broadcast.
 			if p.Rank() == 0 && string(payload) != "ack" {
-				s.SendBcast([]byte("ack"))
+				s.Broadcast([]byte("ack"))
 			}
-		}, ygm.Options{Scheme: machine.NLNR, Capacity: 16})
+		},
+			ygm.WithScheme(machine.NLNR),
+			ygm.WithExchange(ygm.LazyExchange),
+			ygm.WithCapacity(16))
 
 		if p.Rank() != 0 {
 			msg := fmt.Sprintf("hello from (%d,%d)", p.Node(), p.Core())

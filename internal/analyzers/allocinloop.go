@@ -1,0 +1,78 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Allocinloop flags allocation sites inside the functions that carry a
+// `//ygm:hotpath` annotation — the steady-state queue→coalesce→pack→
+// send→deliver path whose zero-allocation contract the alloc_test.go
+// pins enforce at runtime. A `make` call or a map literal on that path
+// defeats the buffer pooling the contract rests on; allocations belong
+// in constructors, or behind the transport pool (AcquireBuf), or under
+// an explicit `//ygmvet:ignore allocinloop` with a reason.
+var Allocinloop = &Analyzer{
+	Name: "allocinloop",
+	Doc:  "flag make calls and map literals inside //ygm:hotpath functions, which must stay allocation-free in steady state",
+	Run:  runAllocinloop,
+}
+
+// isHotpath reports whether a function declaration carries the
+// //ygm:hotpath annotation in its doc comment.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "ygm:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+func runAllocinloop(pass *Pass) []Finding {
+	var findings []Finding
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			name := fd.Name.Name
+			// Function literals nested in a hot function run on the same
+			// path, so the whole body is walked without exception.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok {
+						if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+							findings = append(findings, Finding{
+								Pos:      pass.Pkg.Fset.Position(node.Pos()),
+								Analyzer: "allocinloop",
+								Message: fmt.Sprintf(
+									"make in //ygm:hotpath function %s; hoist to setup or use the transport pool", name),
+							})
+						}
+					}
+				case *ast.CompositeLit:
+					if tv, ok := pass.Pkg.Info.Types[ast.Expr(node)]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							findings = append(findings, Finding{
+								Pos:      pass.Pkg.Fset.Position(node.Pos()),
+								Analyzer: "allocinloop",
+								Message: fmt.Sprintf(
+									"map literal in //ygm:hotpath function %s allocates; hoist to setup", name),
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}

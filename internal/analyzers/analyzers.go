@@ -58,7 +58,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, Seedrand, Codecerr, Blockincallback}
+	return []*Analyzer{Wallclock, Seedrand, Codecerr, Blockincallback, Allocinloop}
 }
 
 // simulatedRankPkgs are the packages whose code runs on simulated ranks,

@@ -106,6 +106,7 @@ func TestWallclockFixture(t *testing.T)       { runFixture(t, "wallclock", Wallc
 func TestSeedrandFixture(t *testing.T)        { runFixture(t, "seedrand", Seedrand) }
 func TestCodecerrFixture(t *testing.T)        { runFixture(t, "codecerr", Codecerr) }
 func TestBlockincallbackFixture(t *testing.T) { runFixture(t, "blockincallback", Blockincallback) }
+func TestAllocinloopFixture(t *testing.T)     { runFixture(t, "allocinloop", Allocinloop) }
 
 // TestRepoClean pins the tree to zero findings under the production
 // scope — the same invocation CI runs through cmd/ygmvet.
@@ -127,7 +128,7 @@ func TestSuiteRegistered(t *testing.T) {
 			t.Errorf("analyzer %s missing doc or run function", a.Name)
 		}
 	}
-	for _, name := range []string{"wallclock", "seedrand", "codecerr", "blockincallback"} {
+	for _, name := range []string{"wallclock", "seedrand", "codecerr", "blockincallback", "allocinloop"} {
 		if !got[name] {
 			t.Errorf("analyzer %s not registered in All()", name)
 		}

@@ -17,23 +17,24 @@ const ygmPkg = "ygm/internal/ygm"
 // loop, and the whole world deadlocks (the transport watchdog catches
 // this at runtime; here it is caught at vet time).
 var blockingFuncs = map[string]string{
-	"ygm/internal/ygm.WaitEmpty":           "waits for global mailbox quiescence",
-	"ygm/internal/ygm.TestEmpty":           "runs a termination-detection round",
-	"ygm/internal/ygm.Exchange":            "is a synchronous all-ranks exchange",
-	"ygm/internal/ygm.ExchangeUntilQuiet":  "is a synchronous all-ranks exchange",
-	"ygm/internal/transport.Recv":          "blocks until a packet arrives",
-	"ygm/internal/transport.WaitPop":       "blocks until a packet arrives",
-	"ygm/internal/collective.Barrier":      "is a blocking collective",
-	"ygm/internal/collective.Bcast":        "is a blocking collective",
-	"ygm/internal/collective.ReduceU64":    "is a blocking collective",
-	"ygm/internal/collective.AllreduceU64": "is a blocking collective",
-	"ygm/internal/collective.ReduceF64":    "is a blocking collective",
-	"ygm/internal/collective.AllreduceF64": "is a blocking collective",
-	"ygm/internal/collective.Gatherv":      "is a blocking collective",
-	"ygm/internal/collective.Allgatherv":   "is a blocking collective",
-	"ygm/internal/collective.Scatterv":     "is a blocking collective",
-	"ygm/internal/collective.Alltoallv":    "is a blocking collective",
-	"ygm/internal/collective.ExscanU64":    "is a blocking collective",
+	"ygm/internal/ygm.WaitEmpty":              "waits for global mailbox quiescence",
+	"ygm/internal/ygm.TestEmpty":              "runs a termination-detection round",
+	"ygm/internal/ygm.Exchange":               "is a synchronous all-ranks exchange",
+	"ygm/internal/ygm.ExchangeUntilQuiet":     "is a synchronous all-ranks exchange",
+	"ygm/internal/transport.Recv":             "blocks until a packet arrives",
+	"ygm/internal/transport.WaitPop":          "blocks until a packet arrives",
+	"ygm/internal/collective.Barrier":         "is a blocking collective",
+	"ygm/internal/collective.Bcast":           "is a blocking collective",
+	"ygm/internal/collective.ReduceU64":       "is a blocking collective",
+	"ygm/internal/collective.AllreduceU64":    "is a blocking collective",
+	"ygm/internal/collective.ReduceF64":       "is a blocking collective",
+	"ygm/internal/collective.AllreduceF64":    "is a blocking collective",
+	"ygm/internal/collective.Gatherv":         "is a blocking collective",
+	"ygm/internal/collective.Allgatherv":      "is a blocking collective",
+	"ygm/internal/collective.Scatterv":        "is a blocking collective",
+	"ygm/internal/collective.Alltoallv":       "is a blocking collective",
+	"ygm/internal/collective.AlltoallvPooled": "is a blocking collective",
+	"ygm/internal/collective.ExscanU64":       "is a blocking collective",
 }
 
 // trustedFrameworkPkgs are packages whose internals the walk does not

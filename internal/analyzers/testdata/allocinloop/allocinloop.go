@@ -1,0 +1,35 @@
+// Package allocinloopfixture exercises the allocinloop analyzer: make
+// calls and map literals inside //ygm:hotpath functions are flagged —
+// including in nested closures — while cold functions and suppressed
+// lines are not.
+package allocinloopfixture
+
+// hot is annotated, so every allocation site in it is a finding.
+//
+//ygm:hotpath
+func hot(n int) []byte {
+	counts := map[int]int{} // want `map literal in //ygm:hotpath function hot allocates`
+	counts[n]++
+	grow := func() []byte {
+		return make([]byte, n) // want `make in //ygm:hotpath function hot`
+	}
+	return grow()
+}
+
+// cold has no annotation: allocating freely is fine.
+func cold(n int) map[int][]byte {
+	return map[int][]byte{n: make([]byte, n)}
+}
+
+// slices of structs are not maps; only the make is flagged.
+//
+//ygm:hotpath
+func hotStructLit(n int) []int {
+	s := make([]int, 0, n) // want `make in //ygm:hotpath function hotStructLit`
+	return append(s, []int{1, 2, 3}...)
+}
+
+//ygm:hotpath
+func hotSuppressed(n int) []byte {
+	return make([]byte, n) //ygmvet:ignore allocinloop — fixture: cold-start growth, never steady state
+}

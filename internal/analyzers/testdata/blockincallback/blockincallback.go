@@ -12,17 +12,17 @@ import (
 )
 
 func direct(p *transport.Proc, opts ygm.Options) {
-	var outer *ygm.Mailbox
+	var outer ygm.Box
 	outer = ygm.New(p, func(s ygm.Sender, payload []byte) {
 		outer.WaitEmpty() // want `WaitEmpty waits for global mailbox quiescence`
-	}, opts)
+	}, ygm.WithOptions(opts))
 	_ = outer
 }
 
 func transitive(p *transport.Proc, c *collective.Comm, opts ygm.Options) {
 	_ = ygm.New(p, func(s ygm.Sender, payload []byte) {
 		drain(c)
-	}, opts)
+	}, ygm.WithOptions(opts))
 }
 
 func drain(c *collective.Comm) {
@@ -48,5 +48,5 @@ func converted() ygm.Handler {
 func clean(p *transport.Proc, opts ygm.Options) {
 	_ = ygm.New(p, func(s ygm.Sender, payload []byte) {
 		s.Send(machine.Rank(0), payload) // spawning sends from a handler is the supported pattern
-	}, opts)
+	}, ygm.WithOptions(opts))
 }

@@ -62,13 +62,13 @@ func DegreeCount(p *transport.Proc, cfg DegreeCountConfig) (*DegreeCountResult, 
 	world := p.WorldSize()
 	degrees := make([]uint64, graph.LocalCount(cfg.NumVertices, world, int(p.Rank())))
 
-	mb := ygm.NewBox(p, func(s ygm.Sender, payload []byte) {
+	mb := ygm.New(p, func(s ygm.Sender, payload []byte) {
 		v, err := codec.NewReader(payload).Uvarint()
 		if err != nil {
 			panic(fmt.Sprintf("apps: corrupt degree message: %v", err))
 		}
 		degrees[graph.LocalID(v, world)]++
-	}, cfg.Mailbox)
+	}, ygm.WithOptions(cfg.Mailbox))
 
 	gen := cfg.NewGen(p)
 	batch := cfg.BatchSize

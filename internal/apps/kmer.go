@@ -53,13 +53,13 @@ func KmerCount(p *transport.Proc, cfg KmerCountConfig) (*KmerCountResult, error)
 	}
 	world := p.WorldSize()
 	counts := make(map[string]uint64)
-	mb := ygm.NewBox(p, func(s ygm.Sender, payload []byte) {
+	mb := ygm.New(p, func(s ygm.Sender, payload []byte) {
 		kmer, err := codec.NewReader(payload).Bytes0()
 		if err != nil {
 			panic(fmt.Sprintf("apps: corrupt kmer message: %v", err))
 		}
 		counts[string(kmer)]++
-	}, cfg.Mailbox)
+	}, ygm.WithOptions(cfg.Mailbox))
 
 	src := p.Rng()
 	read := make([]byte, cfg.ReadLen)

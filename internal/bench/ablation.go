@@ -162,12 +162,13 @@ func AblationBroadcast(p Preset) *Table {
 	const bcastsPerRank = 8
 	for _, scheme := range machine.Schemes {
 		rep, _ := runWorld(p, nodes, nil, func(proc *transport.Proc, ex *extras) error {
-			mb := ygm.New(proc, func(s ygm.Sender, payload []byte) {}, ygm.Options{
-				Scheme: scheme, Capacity: p.MailboxCap,
-			})
+			mb := ygm.New(proc, func(s ygm.Sender, payload []byte) {},
+				ygm.WithScheme(scheme),
+				ygm.WithCapacity(p.MailboxCap),
+				ygm.WithExchange(ygm.LazyExchange))
 			msg := make([]byte, 16)
 			for i := 0; i < bcastsPerRank; i++ {
-				mb.SendBcast(msg)
+				mb.Broadcast(msg)
 			}
 			mb.WaitEmpty()
 			return nil
@@ -255,16 +256,13 @@ func AblationExchangeStyle(p Preset) *Table {
 func roundMailboxDegreeCount(proc *transport.Proc, scheme machine.Scheme, numVertices uint64, edgesPerRank, batches int, jitter float64, seed int64, capacity int) error {
 	world := proc.WorldSize()
 	degrees := make([]uint64, graph.LocalCount(numVertices, world, int(proc.Rank())))
-	mb, err := ygm.NewRound(proc, func(s ygm.Sender, payload []byte) {
+	mb := ygm.New(proc, func(s ygm.Sender, payload []byte) {
 		v, err := codec.NewReader(payload).Uvarint()
 		if err != nil {
 			panic(err)
 		}
 		degrees[graph.LocalID(v, world)]++
-	}, ygm.Options{Scheme: scheme, Capacity: capacity})
-	if err != nil {
-		return err
-	}
+	}, ygm.WithScheme(scheme), ygm.WithCapacity(capacity), ygm.WithExchange(ygm.RoundExchange))
 	gen := graph.NewUniform(numVertices, seed*31+int64(proc.Rank()))
 	jitterChunk := edgesPerRank / batches
 	for i := 0; i < edgesPerRank; i++ {
@@ -287,16 +285,13 @@ func roundMailboxDegreeCount(proc *transport.Proc, scheme machine.Scheme, numVer
 func syncMailboxDegreeCount(proc *transport.Proc, scheme machine.Scheme, numVertices uint64, edgesPerRank, batches int, jitter float64, seed int64) error {
 	world := proc.WorldSize()
 	degrees := make([]uint64, graph.LocalCount(numVertices, world, int(proc.Rank())))
-	mb, err := ygm.NewSync(proc, func(s ygm.Sender, payload []byte) {
+	mb := ygm.New(proc, func(s ygm.Sender, payload []byte) {
 		v, err := codec.NewReader(payload).Uvarint()
 		if err != nil {
 			panic(err)
 		}
 		degrees[graph.LocalID(v, world)]++
-	}, ygm.Options{Scheme: scheme})
-	if err != nil {
-		return err
-	}
+	}, ygm.WithScheme(scheme), ygm.WithExchange(ygm.SyncExchange)).(*ygm.SyncMailbox)
 	gen := graph.NewUniform(numVertices, seed*31+int64(proc.Rank()))
 	send := func(v uint64) {
 		w := codec.NewWriter(10)

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"ygm/internal/machine"
+	"ygm/internal/netsim"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+// MicroBench is a named coalescing-path workload runnable through
+// testing.Benchmark, so cmd/ygm-bench can measure host-side ns/op and
+// allocs/op outside `go test` and commit them as a regression baseline.
+// The workloads mirror the Benchmark* functions in internal/ygm: an
+// all-to-all counting exchange on a 4x4 simulated cluster, timed in host
+// nanoseconds (the implementation cost, not simulated seconds).
+type MicroBench struct {
+	Name string
+	Run  func(b *testing.B)
+}
+
+// MicroBenches returns the baseline micro-benchmark suite in fixed order.
+func MicroBenches() []MicroBench {
+	return []MicroBench{
+		{"MailboxLazyNLNR", func(b *testing.B) { microWorkload(b, ygm.LazyExchange, machine.NLNR) }},
+		{"MailboxRoundNLNR", func(b *testing.B) { microWorkload(b, ygm.RoundExchange, machine.NLNR) }},
+		{"MailboxLazyNoRoute", func(b *testing.B) { microWorkload(b, ygm.LazyExchange, machine.NoRoute) }},
+		{"MailboxRoundNodeRemote", func(b *testing.B) { microWorkload(b, ygm.RoundExchange, machine.NodeRemote) }},
+		{"MailboxSyncNLNR", func(b *testing.B) { microWorkload(b, ygm.SyncExchange, machine.NLNR) }},
+	}
+}
+
+// microWorkload is the shared workload body: every rank sends 512
+// uniformly random unicasts and the world drains to quiescence. The seed
+// is fixed so every iteration measures the identical message pattern.
+func microWorkload(b *testing.B, style ygm.ExchangeStyle, scheme machine.Scheme) {
+	const msgsPerRank = 512
+	topo := machine.New(4, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := transport.Run(transport.Config{
+			Topo:  topo,
+			Model: netsim.Quartz(),
+			Seed:  12345,
+		}, func(p *transport.Proc) error {
+			mb := ygm.New(p, func(s ygm.Sender, payload []byte) {},
+				ygm.WithScheme(scheme),
+				ygm.WithCapacity(256),
+				ygm.WithExchange(style))
+			rng := p.Rng()
+			var payload [8]byte
+			for k := 0; k < msgsPerRank; k++ {
+				binary.LittleEndian.PutUint64(payload[:], uint64(k))
+				mb.Send(machine.Rank(rng.Intn(p.WorldSize())), payload[:])
+			}
+			mb.WaitEmpty()
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

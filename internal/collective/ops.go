@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ygm/internal/codec"
+	"ygm/internal/transport"
 )
 
 // Reduction operators for unsigned and floating-point vectors.
@@ -297,6 +298,61 @@ func (c *Comm) Alltoallv(payloads [][]byte) [][]byte {
 		out[idx] = pkt.Payload
 	}
 	return out
+}
+
+// BlobSink consumes one member's contribution to AlltoallvPooled.
+// Implementations must fully process blob before returning: the buffer
+// is recycled to the transport pool immediately afterwards.
+type BlobSink interface {
+	VisitBlob(srcIndex int, blob []byte)
+}
+
+// AlltoallvPooled is Alltoallv for pooled payload buffers: member i's
+// payloads[j] — acquired from Proc.AcquireBuf — is delivered to member
+// j's sink, and each received packet (payload included) is recycled to
+// the world pool once its sink call returns, so a steady-state exchange
+// allocates nothing. Blobs are visited in member order, matching the
+// iteration order of Alltoallv's return slice; empty contributions are
+// skipped. The caller's own payloads[me] is visited directly without a
+// transport round trip and is NOT recycled — the caller still owns it.
+// scratch must hold at least Size() entries and is used as the packet
+// reorder table between receives and visits.
+func (c *Comm) AlltoallvPooled(payloads [][]byte, scratch []*transport.Packet, sink BlobSink) {
+	opSeq := c.nextOp()
+	size := len(c.ranks)
+	if len(payloads) != size {
+		panic(fmt.Sprintf("collective: alltoallv of %d payloads over %d members", len(payloads), size))
+	}
+	if len(scratch) < size {
+		panic(fmt.Sprintf("collective: alltoallv scratch of %d under %d members", len(scratch), size))
+	}
+	t := c.tag(opSeq, 0)
+	for shift := 1; shift < size; shift++ {
+		i := (c.me + shift) % size
+		c.p.SendPooled(c.ranks[i], t, payloads[i])
+	}
+	for i := 1; i < size; i++ {
+		pkt := c.recv(t)
+		idx := c.indexOf(pkt.Src)
+		if idx < 0 {
+			panic("collective: alltoallv packet from non-member")
+		}
+		scratch[idx] = pkt
+	}
+	for idx := 0; idx < size; idx++ {
+		if idx == c.me {
+			if len(payloads[idx]) > 0 {
+				sink.VisitBlob(idx, payloads[idx])
+			}
+			continue
+		}
+		pkt := scratch[idx]
+		scratch[idx] = nil
+		if len(pkt.Payload) > 0 {
+			sink.VisitBlob(idx, pkt.Payload)
+		}
+		c.p.Recycle(pkt)
+	}
 }
 
 // ExscanU64 returns the exclusive prefix reduction of val over member

@@ -78,9 +78,9 @@ const (
 )
 
 // NewContext creates the per-rank grb state. Collective.
-func NewContext(p *transport.Proc, opts ygm.Options) *Context {
+func NewContext(p *transport.Proc, opts ...ygm.Option) *Context {
 	ctx := &Context{p: p, world: p.WorldSize(), comm: collective.World(p)}
-	ctx.mb = ygm.NewBox(p, ctx.handle, opts)
+	ctx.mb = ygm.New(p, ctx.handle, opts...)
 	return ctx
 }
 

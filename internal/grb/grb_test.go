@@ -21,7 +21,7 @@ func runGrb(t *testing.T, nodes, cores int, body func(ctx *Context) error) {
 		Model: netsim.Quartz(),
 		Seed:  17,
 	}, func(p *transport.Proc) error {
-		return body(NewContext(p, ygm.Options{Scheme: machine.NLNR, Capacity: 128}))
+		return body(NewContext(p, ygm.WithScheme(machine.NLNR), ygm.WithCapacity(128)))
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -26,7 +26,10 @@ type VisitFunc func(e *Engine, payload []byte)
 
 // Config parameterizes an Engine.
 type Config struct {
-	// Mailbox carries routing scheme and capacity.
+	// Mailbox carries routing scheme and capacity. The engine forces
+	// LazyExchange regardless of the Exchange field: its Run loop is
+	// built on nonblocking TestEmpty polling, which only the lazy
+	// mailbox supports.
 	Mailbox ygm.Options
 	// Less, when non-nil, orders the local work queue as a priority
 	// queue over visitor payloads (e.g. by tentative distance for
@@ -41,7 +44,7 @@ type Config struct {
 // goroutine.
 type Engine struct {
 	p     *transport.Proc
-	mb    *ygm.Mailbox
+	mb    ygm.Box
 	visit VisitFunc
 	cfg   Config
 
@@ -77,7 +80,7 @@ func New(p *transport.Proc, visit VisitFunc, cfg Config) *Engine {
 		buf := make([]byte, len(payload))
 		copy(buf, payload)
 		e.enqueue(buf)
-	}, cfg.Mailbox)
+	}, ygm.WithOptions(cfg.Mailbox), ygm.WithExchange(ygm.LazyExchange))
 	return e
 }
 
@@ -85,7 +88,7 @@ func New(p *transport.Proc, visit VisitFunc, cfg Config) *Engine {
 func (e *Engine) Proc() *transport.Proc { return e.p }
 
 // Mailbox exposes the engine's mailbox (for stats).
-func (e *Engine) Mailbox() *ygm.Mailbox { return e.mb }
+func (e *Engine) Mailbox() ygm.Box { return e.mb }
 
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() Stats { return e.stats }
@@ -160,7 +163,12 @@ func (e *Engine) Run() {
 		// TestEmpty drains arrived mailbox traffic, which may enqueue
 		// new visitors — loop back if so; only a true verdict with a
 		// still-empty queue terminates.
-		done := e.mb.TestEmpty()
+		done, err := e.mb.TestEmpty()
+		if err != nil {
+			// Unreachable: New forces the lazy mailbox, which supports
+			// nonblocking polling.
+			panic(fmt.Sprintf("havoq: %v", err))
+		}
 		if e.queueLen() > 0 {
 			continue
 		}

@@ -1,0 +1,91 @@
+package machine
+
+import "testing"
+
+// testTopologies covers square, wide, tall, degenerate-node, and
+// degenerate-core shapes; NLNR's layer arithmetic is exercised both when
+// nodes%cores == 0 and when it is not.
+var testTopologies = [][2]int{{1, 1}, {1, 4}, {4, 1}, {2, 3}, {4, 4}, {6, 4}, {5, 3}}
+
+// TestRouterMatchesNextHop: the precomputed table must agree with the
+// routing arithmetic for every (scheme, cur, dst) triple.
+func TestRouterMatchesNextHop(t *testing.T) {
+	for _, shape := range testTopologies {
+		topo := New(shape[0], shape[1])
+		for _, s := range Schemes {
+			for cur := Rank(0); int(cur) < topo.WorldSize(); cur++ {
+				rt := topo.NewRouter(s, cur)
+				for dst := Rank(0); int(dst) < topo.WorldSize(); dst++ {
+					if got, want := rt.Next(dst), topo.NextHop(s, cur, dst); got != want {
+						t.Fatalf("%v %v: Router(%d).Next(%d) = %d, NextHop = %d",
+							topo, s, cur, dst, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHopPartnersCoverNextHops: HopPartners is the dense slot universe a
+// coalescing mailbox sizes its buffers from, so every next hop the router
+// can ever emit for a non-self destination must be a member.
+func TestHopPartnersCoverNextHops(t *testing.T) {
+	for _, shape := range testTopologies {
+		topo := New(shape[0], shape[1])
+		for _, s := range Schemes {
+			for cur := Rank(0); int(cur) < topo.WorldSize(); cur++ {
+				members := map[Rank]bool{}
+				prev := Rank(-1)
+				for _, q := range topo.HopPartners(s, cur) {
+					if q == cur {
+						t.Fatalf("%v %v: HopPartners(%d) contains self", topo, s, cur)
+					}
+					if q <= prev {
+						t.Fatalf("%v %v: HopPartners(%d) not strictly ascending: %v",
+							topo, s, cur, topo.HopPartners(s, cur))
+					}
+					prev = q
+					members[q] = true
+				}
+				for dst := Rank(0); int(dst) < topo.WorldSize(); dst++ {
+					if dst == cur {
+						continue
+					}
+					if hop := topo.NextHop(s, cur, dst); !members[hop] {
+						t.Fatalf("%v %v: NextHop(%d→%d) = %d outside HopPartners %v",
+							topo, s, cur, dst, hop, topo.HopPartners(s, cur))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHopPartnersCoverBroadcastTargets: the mailbox broadcast fan-outs
+// transmit to same-node peers and to the scheme's remote-partner channel
+// set; both must sit inside the slot universe.
+func TestHopPartnersCoverBroadcastTargets(t *testing.T) {
+	for _, shape := range testTopologies {
+		topo := New(shape[0], shape[1])
+		for _, s := range Schemes {
+			for cur := Rank(0); int(cur) < topo.WorldSize(); cur++ {
+				members := map[Rank]bool{}
+				for _, q := range topo.HopPartners(s, cur) {
+					members[q] = true
+				}
+				for _, q := range topo.LocalRanks(cur) {
+					if q != cur && !members[q] {
+						t.Fatalf("%v %v: local peer %d of %d outside HopPartners", topo, s, q, cur)
+					}
+				}
+				if s != NoRoute {
+					for _, q := range topo.RemotePartners(s, cur) {
+						if !members[q] {
+							t.Fatalf("%v %v: remote partner %d of %d outside HopPartners", topo, s, q, cur)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -85,53 +85,49 @@ func runRank(p *transport.Proc, c Case, o *oracle, hooks *ygm.TestHooks) error {
 		s.Send(dst, encodePayload(key, false, m.phase, m.ttl-1, dst, rng.Intn(c.MaxPayload+1)))
 	}
 
-	opts := ygm.Options{
-		Scheme:   c.Scheme,
-		Capacity: c.Capacity,
-		Tap:      o,
-		Hooks:    hooks,
+	opts := []ygm.Option{
+		ygm.WithScheme(c.Scheme),
+		ygm.WithCapacity(c.Capacity),
+		ygm.WithTap(o),
+		ygm.WithHooks(hooks),
 	}
-
-	var send func(dst machine.Rank, payload []byte)
-	var bcast func(payload []byte)
-	var barrier func() error
 	switch c.Variant {
 	case VariantLazy:
-		mb := ygm.New(p, handler, opts)
-		send, bcast = mb.Send, mb.SendBcast
-		if c.TestEmptyBarrier {
-			barrier = func() error {
-				for spins := 0; !mb.TestEmpty(); spins++ {
-					if spins > testEmptySpinCap {
-						return fmt.Errorf("simtest: rank %d: TestEmpty never converged", me)
-					}
-					// A real poller does external work between calls;
-					// yield so peers sharing the OS thread progress, and
-					// unwind instead of livelocking if one already died.
-					p.AbortIfPeerFailed()
-					runtime.Gosched()
-				}
-				return nil
-			}
-		} else {
-			barrier = func() error { mb.WaitEmpty(); return nil }
-		}
+		opts = append(opts, ygm.WithExchange(ygm.LazyExchange))
 	case VariantRound:
-		mb, err := ygm.NewRound(p, handler, opts)
-		if err != nil {
-			return err
-		}
-		send, bcast = mb.Send, mb.SendBcast
-		barrier = func() error { mb.WaitEmpty(); return nil }
+		opts = append(opts, ygm.WithExchange(ygm.RoundExchange))
 	case VariantSync:
-		mb, err := ygm.NewSync(p, handler, opts)
-		if err != nil {
-			return err
-		}
-		send, bcast = mb.Send, mb.SendBcast
-		barrier = func() error { mb.ExchangeUntilQuiet(); return nil }
+		opts = append(opts, ygm.WithExchange(ygm.SyncExchange))
 	default:
 		return fmt.Errorf("simtest: unknown variant %v", c.Variant)
+	}
+	mb := ygm.New(p, handler, opts...)
+	send, bcast := mb.Send, mb.Broadcast
+
+	// WaitEmpty is the quiescence barrier on every variant (the sync
+	// mailbox aliases it to ExchangeUntilQuiet); lazy cases optionally
+	// drive it through nonblocking TestEmpty polling instead.
+	barrier := func() error { mb.WaitEmpty(); return nil }
+	if c.Variant == VariantLazy && c.TestEmptyBarrier {
+		barrier = func() error {
+			for spins := 0; ; spins++ {
+				done, err := mb.TestEmpty()
+				if err != nil {
+					return fmt.Errorf("simtest: rank %d: %v", me, err)
+				}
+				if done {
+					return nil
+				}
+				if spins > testEmptySpinCap {
+					return fmt.Errorf("simtest: rank %d: TestEmpty never converged", me)
+				}
+				// A real poller does external work between calls; yield so
+				// peers sharing the OS thread progress, and unwind instead
+				// of livelocking if one already died.
+				p.AbortIfPeerFailed()
+				runtime.Gosched()
+			}
+		}
 	}
 
 	for phase := 0; phase < c.Phases; phase++ {

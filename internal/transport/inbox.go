@@ -34,9 +34,13 @@ type Inbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queues map[Tag]*packetHeap
-	seq    uint64
-	pops   uint64
-	depth  int
+	// freeHeaps retires emptied per-tag queues for reuse. Round-matched
+	// exchanges mint a fresh tag every round; without recycling, queues
+	// would grow the map and allocate a heap header per round forever.
+	freeHeaps []*packetHeap
+	seq       uint64
+	pops      uint64
+	depth     int
 	// maxDepth tracks the high-water mark of queued packets, a proxy for
 	// the receive-side memory pressure the mailbox capacity bounds.
 	maxDepth int
@@ -64,7 +68,13 @@ func (ib *Inbox) Push(p *Packet) {
 	ib.seq++
 	q, ok := ib.queues[p.Tag]
 	if !ok {
-		q = &packetHeap{}
+		if n := len(ib.freeHeaps); n > 0 {
+			q = ib.freeHeaps[n-1]
+			ib.freeHeaps[n-1] = nil
+			ib.freeHeaps = ib.freeHeaps[:n-1]
+		} else {
+			q = &packetHeap{}
+		}
 		ib.queues[p.Tag] = q
 	}
 	heap.Push(q, p)
@@ -86,10 +96,7 @@ func (ib *Inbox) WaitPop(tag Tag) *Packet {
 	defer ib.mu.Unlock()
 	for {
 		if q, ok := ib.queues[tag]; ok && q.Len() > 0 {
-			ib.depth--
-			ib.pops++
-			p := heap.Pop(q).(*Packet)
-			ib.verify(tag)
+			p := ib.popLocked(tag, q)
 			return p
 		}
 		if ib.poisoned {
@@ -110,11 +117,7 @@ func (ib *Inbox) TryPop(tag Tag) *Packet {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	if q, ok := ib.queues[tag]; ok && q.Len() > 0 {
-		ib.depth--
-		ib.pops++
-		p := heap.Pop(q).(*Packet)
-		ib.verify(tag)
-		return p
+		return ib.popLocked(tag, q)
 	}
 	return nil
 }
@@ -130,11 +133,51 @@ func (ib *Inbox) TryPopArrived(tag Tag, now float64) *Packet {
 	if !ok || q.Len() == 0 || (*q)[0].Arrive > now {
 		return nil
 	}
+	return ib.popLocked(tag, q)
+}
+
+// popLocked removes the heap minimum under tag, maintaining depth/pop
+// accounting and retiring the queue to the free list when it empties.
+// Caller holds ib.mu and guarantees q is tag's non-empty queue.
+func (ib *Inbox) popLocked(tag Tag, q *packetHeap) *Packet {
 	ib.depth--
 	ib.pops++
 	p := heap.Pop(q).(*Packet)
 	ib.verify(tag)
+	if q.Len() == 0 {
+		ib.releaseEmpty(tag, q)
+	}
 	return p
+}
+
+// releaseEmpty unmaps tag's emptied queue and keeps a few around for
+// reuse by Push. Caller holds ib.mu.
+func (ib *Inbox) releaseEmpty(tag Tag, q *packetHeap) {
+	delete(ib.queues, tag)
+	if len(ib.freeHeaps) < 8 {
+		ib.freeHeaps = append(ib.freeHeaps, q)
+	}
+}
+
+// DrainInto removes every physically present packet under tag, appending
+// them to dst in virtual-arrival order, under a single lock acquisition.
+// It ignores virtual time, like TryPop; callers absorb each packet as
+// they consume it.
+func (ib *Inbox) DrainInto(tag Tag, dst []*Packet) []*Packet {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	q, ok := ib.queues[tag]
+	if !ok || q.Len() == 0 {
+		return dst
+	}
+	for q.Len() > 0 {
+		ib.depth--
+		ib.pops++
+		dst = append(dst, heap.Pop(q).(*Packet))
+	}
+	ib.verify(tag)
+	ib.releaseEmpty(tag, q)
+	return dst
 }
 
 // progress returns a counter that increases with every push and pop —

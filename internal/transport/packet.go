@@ -40,6 +40,10 @@ type Packet struct {
 	Payload []byte
 
 	seq uint64 // tie-breaker for deterministic ordering at equal Arrive
+
+	// pooled marks a payload obtained from Proc.AcquireBuf and sent via
+	// Proc.SendPooled; Recycle returns such payloads to the world pool.
+	pooled bool
 }
 
 // Size returns the payload size in bytes.

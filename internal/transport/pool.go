@@ -1,0 +1,71 @@
+package transport
+
+import "sync"
+
+// bufPool recycles packet payload buffers and Packet structs across the
+// ranks of one World. Coalescing buffers are acquired at the sender
+// (AcquireBuf), travel inside a pooled packet, and return to the pool at
+// the receiver (Recycle) once the mailbox has dispatched every record —
+// the cross-rank flow that makes the steady-state exchange path
+// allocation-free. Only payloads sent via SendPooled are recycled:
+// plain Send makes no ownership claim beyond "receiver owns it", and
+// collectives legitimately alias one payload across several receivers.
+type bufPool struct {
+	mu   sync.Mutex
+	bufs [][]byte
+	pkts []*Packet
+}
+
+// poolKeep bounds the retained entries per kind so a burst cannot pin
+// memory forever; overflow simply falls back to the garbage collector.
+const poolKeep = 1024
+
+// getBuf returns a length-n buffer, reusing pooled storage when a
+// buffer with sufficient capacity is available.
+func (bp *bufPool) getBuf(n int) []byte {
+	bp.mu.Lock()
+	if l := len(bp.bufs); l > 0 {
+		b := bp.bufs[l-1]
+		bp.bufs[l-1] = nil
+		bp.bufs = bp.bufs[:l-1]
+		bp.mu.Unlock()
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small: let it go and size up. The pool converges to the
+		// largest buffers in circulation.
+		return make([]byte, n)
+	}
+	bp.mu.Unlock()
+	return make([]byte, n)
+}
+
+// getPkt returns a zeroed Packet, pooled when possible.
+func (bp *bufPool) getPkt() *Packet {
+	bp.mu.Lock()
+	if l := len(bp.pkts); l > 0 {
+		pkt := bp.pkts[l-1]
+		bp.pkts[l-1] = nil
+		bp.pkts = bp.pkts[:l-1]
+		bp.mu.Unlock()
+		return pkt
+	}
+	bp.mu.Unlock()
+	return &Packet{}
+}
+
+// put returns pkt — and, when the sender marked it pooled, its payload —
+// to the pool. pkt must not be touched by the caller afterwards.
+func (bp *bufPool) put(pkt *Packet) {
+	payload := pkt.Payload
+	pooled := pkt.pooled
+	*pkt = Packet{}
+	bp.mu.Lock()
+	if pooled && payload != nil && len(bp.bufs) < poolKeep {
+		bp.bufs = append(bp.bufs, payload)
+	}
+	if len(bp.pkts) < poolKeep {
+		bp.pkts = append(bp.pkts, pkt)
+	}
+	bp.mu.Unlock()
+}

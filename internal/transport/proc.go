@@ -111,6 +111,31 @@ func (p *Proc) ChargeRecvOverhead() {
 // local or remote transfer time from the cost model. Payload ownership
 // transfers to the receiver.
 func (p *Proc) Send(dst machine.Rank, tag Tag, payload []byte) {
+	p.send(dst, tag, payload, false)
+}
+
+// SendPooled is Send for payloads obtained from AcquireBuf: the packet is
+// marked so that the receiver's Recycle returns the payload buffer to the
+// world pool once it has been fully consumed. The sender must not retain
+// the payload; the receiver must not retain it past Recycle.
+func (p *Proc) SendPooled(dst machine.Rank, tag Tag, payload []byte) {
+	p.send(dst, tag, payload, true)
+}
+
+// AcquireBuf returns a length-n payload buffer from the world's recycle
+// pool (allocating only when the pool is dry). Buffers acquired here are
+// meant to be sent with SendPooled and returned by the receiver via
+// Recycle — the cycle that keeps steady-state mailbox traffic
+// allocation-free.
+func (p *Proc) AcquireBuf(n int) []byte { return p.world.pool.getBuf(n) }
+
+// Recycle returns a received packet — and, when it was sent with
+// SendPooled, its payload buffer — to the world pool. The caller must not
+// touch pkt or its payload afterwards.
+func (p *Proc) Recycle(pkt *Packet) { p.world.pool.put(pkt) }
+
+//ygm:hotpath
+func (p *Proc) send(dst machine.Rank, tag Tag, payload []byte, pooled bool) {
 	w := p.world
 	if !w.topo.Valid(dst) {
 		panic(fmt.Sprintf("transport: send to invalid rank %d", dst))
@@ -133,7 +158,7 @@ func (p *Proc) Send(dst machine.Rank, tag Tag, payload []byte) {
 	if w.delay != nil {
 		// Clamp so injected delay never reorders a channel.
 		if p.lastArrive == nil {
-			p.lastArrive = make(map[chanKey]float64)
+			p.lastArrive = make(map[chanKey]float64) //ygmvet:ignore allocinloop -- fault-injection runs only; never on the steady-state path
 		}
 		key := chanKey{dst: dst, tag: tag}
 		if last := p.lastArrive[key]; arrive < last {
@@ -141,12 +166,13 @@ func (p *Proc) Send(dst machine.Rank, tag Tag, payload []byte) {
 		}
 		p.lastArrive[key] = arrive
 	}
-	w.inboxes[dst].Push(&Packet{
-		Src:     p.rank,
-		Tag:     tag,
-		Arrive:  arrive,
-		Payload: payload,
-	})
+	pkt := w.pool.getPkt()
+	pkt.Src = p.rank
+	pkt.Tag = tag
+	pkt.Arrive = arrive
+	pkt.Payload = payload
+	pkt.pooled = pooled
+	w.inboxes[dst].Push(pkt)
 	if w.trace != nil {
 		w.trace.PacketSent(p.rank, dst, tag, len(payload), p.clock.Now(), arrive)
 	}
@@ -194,6 +220,20 @@ func (p *Proc) Drain(tag Tag) *Packet {
 	p.absorb(pkt)
 	return pkt
 }
+
+// DrainBatch removes every physically present packet under tag in one
+// inbox lock acquisition, appending them to scratch in virtual-arrival
+// order, and returns the extended slice. Unlike Drain it does NOT absorb:
+// the caller must Absorb each packet as it processes it, which preserves
+// the per-packet clock accounting of a pop-at-a-time drain while
+// eliminating the per-poll locking and interface traffic.
+func (p *Proc) DrainBatch(tag Tag, scratch []*Packet) []*Packet {
+	return p.world.inboxes[p.rank].DrainInto(tag, scratch)
+}
+
+// Absorb applies arrival-wait and receive-overhead accounting for a
+// packet obtained from DrainBatch, exactly as Drain would have.
+func (p *Proc) Absorb(pkt *Packet) { p.absorb(pkt) }
 
 // Pending reports how many packets are physically queued under tag,
 // whether or not they have virtually arrived.

@@ -54,6 +54,10 @@ type World struct {
 	trace         Tracer
 	delay         DelayFn
 
+	// pool recycles packet structs and pooled payload buffers; see
+	// bufPool for the ownership protocol.
+	pool bufPool
+
 	// active counts ranks whose SPMD body is still running; the deadlock
 	// watchdog compares it against the number of blocked receivers.
 	active atomic.Int64

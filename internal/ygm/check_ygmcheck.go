@@ -26,15 +26,15 @@ func checkf(cond bool, format string, args ...any) {
 // buffers never hold a full mailbox — reaching Capacity triggers a
 // communication context. It also checks the per-hop record accounting.
 func (mb *Mailbox) checkCapacityBound() {
-	if mb.processing {
+	if mb.processing > 0 {
 		return
 	}
 	checkf(mb.queued < mb.opts.Capacity,
 		"rank %d coalescing buffers hold %d records, capacity %d: flush-at-capacity violated",
 		mb.p.Rank(), mb.queued, mb.opts.Capacity)
 	total := 0
-	for _, n := range mb.bufCount {
-		total += n
+	for _, i := range mb.slots.active {
+		total += mb.slots.slots[i].count
 	}
 	checkf(total == mb.queued,
 		"rank %d queued-record accounting out of balance: cached %d, actual %d",

@@ -30,7 +30,7 @@ func TestDeadlockWatchdogCatchesBlockingHandler(t *testing.T) {
 			var mb *Mailbox
 			mb = New(p, func(s Sender, payload []byte) {
 				mb.WaitEmpty() // the forbidden blocking collective inside a handler
-			}, Options{})
+			}, WithExchange(LazyExchange)).(*Mailbox)
 			if p.Rank() == 0 {
 				mb.Send(machine.Rank(1), []byte("x"))
 			}

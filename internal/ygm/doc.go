@@ -2,13 +2,35 @@
 // pseudo-asynchronous communication layer of Priest, Steil, Sanders and
 // Pearce (IPPS 2019), rebuilt in Go on the simulated-cluster transport.
 //
-// Programs create a Mailbox with a receive callback and a capacity, queue
-// point-to-point messages with Send and broadcasts with SendBcast, and
-// finish with WaitEmpty (or poll TestEmpty). When the mailbox fills, the
-// rank enters a communication context: it flushes its coalescing buffers
-// along the routing scheme's next hops and opportunistically processes
-// arrived messages — without a global barrier, so a slow rank delays only
-// the ranks whose messages route through it.
+// Programs construct a mailbox with New, giving a receive callback and
+// functional options, queue point-to-point messages with Send and
+// broadcasts with Broadcast, and finish with WaitEmpty:
+//
+//	mb := ygm.New(p, handler,
+//	    ygm.WithScheme(machine.NLNR),
+//	    ygm.WithCapacity(1<<10))
+//	mb.Send(dst, payload)
+//	mb.Broadcast(payload)
+//	mb.WaitEmpty()
+//
+// When the mailbox fills, the rank enters a communication context: it
+// flushes its coalescing buffers along the routing scheme's next hops
+// and opportunistically processes arrived messages — without a global
+// barrier, so a slow rank delays only the ranks whose messages route
+// through it.
+//
+// New returns a Box, the interface over the three exchange variants
+// selected by WithExchange:
+//
+//	RoundExchange  the paper's round-matched protocol (default): a flush
+//	               sends exactly one packet — possibly empty — to every
+//	               stage partner and receives one from each, so packet
+//	               arrival patterns match the paper's
+//	LazyExchange   forwards opportunistically with no round structure;
+//	               the only variant whose TestEmpty supports
+//	               non-blocking polling (the HavoqGT pattern)
+//	SyncExchange   the bulk-synchronous ALLTOALLV-backed baseline of
+//	               Section III-A, driven by explicit Exchange calls
 //
 // Four routing schemes are provided (Section III of the paper):
 //
@@ -22,9 +44,29 @@
 // into few large packets — the point of the routing schemes — shows up
 // directly in simulated time and in the traffic statistics.
 //
+// # Allocation discipline
+//
+// The steady-state queue→coalesce→pack→send→deliver path performs zero
+// heap allocations per message on every variant (pinned by the
+// testing.AllocsPerRun tests in alloc_test.go and catalogued in
+// DESIGN.md §8): coalescing buffers live in dense per-partner slots
+// that are reused across flushes, packet payloads come from the
+// transport's buffer pool, and delivery hands the handler a slice that
+// aliases the pooled packet. The flip side is a retention contract: a
+// handler must not keep its payload slice after returning unless the
+// mailbox was built with WithCopyOnDeliver(true). Functions on this
+// path carry a //ygm:hotpath annotation, and the ygmvet allocinloop
+// analyzer flags allocation sites inside them at vet time.
+//
+// WithZeroCopyLocal enables Section VII's optimization: local-hop
+// packets detach the coalescing buffer itself instead of copying it,
+// trading a pooled-buffer swap for the memcpy.
+//
 // Termination detection follows the paper's Section IV-B: ranks declare
 // themselves done producing messages, flush (including empty buffers —
 // here, counter reports), and the layer detects global quiescence by a
 // counting consensus: record-hop send and receive totals must balance and
-// stay unchanged over two consecutive global reductions.
+// stay unchanged over two consecutive global reductions. TestEmpty
+// drives the same state machine without blocking on the lazy variant and
+// returns ErrUnsupported elsewhere.
 package ygm

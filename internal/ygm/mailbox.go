@@ -9,20 +9,27 @@ import (
 	"ygm/internal/transport"
 )
 
-// Sender is the messaging surface exposed to receive callbacks: both the
-// asynchronous Mailbox and the ALLTOALLV-backed SyncMailbox implement it,
-// so application handlers work unchanged on either exchange style.
+// Sender is the messaging surface exposed to receive callbacks: all
+// three mailbox variants implement it, so application handlers work
+// unchanged on any exchange style.
 type Sender interface {
 	// Send queues a point-to-point message for dst.
 	Send(dst machine.Rank, payload []byte)
+	// Broadcast queues a broadcast to every other rank.
+	Broadcast(payload []byte)
 	// SendBcast queues a broadcast to every other rank.
+	//
+	// Deprecated: use Broadcast.
 	SendBcast(payload []byte)
 }
 
 // Handler is a mailbox receive callback, invoked once per delivered
-// message. Handlers may call s.Send and s.SendBcast (data-dependent
+// message. Handlers may call s.Send and s.Broadcast (data-dependent
 // message spawning, as in graph traversals) but must not call WaitEmpty,
-// TestEmpty, or Exchange, and must not retain the payload slice.
+// TestEmpty, or Exchange, and must not retain the payload slice —
+// delivery buffers are pooled and recycled once the packet is fully
+// dispatched. Handlers that must keep payloads copy them, or construct
+// the mailbox with WithCopyOnDeliver.
 type Handler func(s Sender, payload []byte)
 
 // ExchangeStyle selects how a mailbox realizes the paper's exchanges.
@@ -39,6 +46,9 @@ const (
 	// the counting consensus. Strictly more asynchronous; supports
 	// TestEmpty polling.
 	LazyExchange
+	// SyncExchange realizes every exchange phase as a synchronous
+	// ALLTOALLV collective (Section III-A's bulk-synchronous variant).
+	SyncExchange
 )
 
 // String names the exchange style.
@@ -48,11 +58,16 @@ func (e ExchangeStyle) String() string {
 		return "round"
 	case LazyExchange:
 		return "lazy"
+	case SyncExchange:
+		return "sync"
 	}
 	return fmt.Sprintf("ExchangeStyle(%d)", int(e))
 }
 
-// Options configures a Mailbox.
+// Options configures a mailbox. New applications compose Option values
+// (WithScheme, WithCapacity, ...) instead of assembling this struct;
+// it remains exported as the configuration record those options fill
+// in, and for legacy construction through NewBox/WithOptions.
 type Options struct {
 	// Scheme selects the routing protocol. Default NoRoute.
 	Scheme machine.Scheme
@@ -63,9 +78,14 @@ type Options struct {
 	// PollEvery is how many Sends pass between opportunistic polls of
 	// the inbox (lazy exchange only). Default 8.
 	PollEvery int
-	// Exchange selects the exchange semantics used by NewBox. Default
-	// RoundExchange.
+	// Exchange selects the exchange semantics. Default RoundExchange.
 	Exchange ExchangeStyle
+	// ZeroCopyLocal hands same-node coalescing buffers to the receiver
+	// without the pack-time copy; see WithZeroCopyLocal.
+	ZeroCopyLocal bool
+	// CopyOnDeliver copies each payload before the handler sees it; see
+	// WithCopyOnDeliver.
+	CopyOnDeliver bool
 	// Tap, when non-nil, observes every record queued for an exchange
 	// (oracle instrumentation; see Tap). Nil in production.
 	Tap Tap
@@ -75,27 +95,42 @@ type Options struct {
 }
 
 // Box is the mailbox surface the applications program against: queue
-// messages, then wait for global quiescence. Both the round-matched and
-// the lazy mailbox satisfy it.
+// messages, then wait for global quiescence. All three exchange styles
+// satisfy it.
 type Box interface {
 	Sender
 	// WaitEmpty blocks until global quiescence. Collective.
 	WaitEmpty()
+	// TestEmpty makes nonblocking progress on quiescence detection and
+	// reports whether it has been established. Only the lazy mailbox
+	// supports it; the round-matched and synchronous variants return
+	// ErrUnsupported (their exchanges are collective, so they cannot
+	// progress unilaterally).
+	TestEmpty() (bool, error)
 	// Stats returns the mailbox counters.
 	Stats() Stats
 	// PendingSends reports records queued but not yet exchanged.
 	PendingSends() int
 }
 
-// NewBox constructs the mailbox variant selected by opts.Exchange.
+// NewBox constructs the mailbox variant selected by opts.Exchange from a
+// fully assembled Options value.
+//
+// Deprecated: use New with Option values.
 func NewBox(p *transport.Proc, handler Handler, opts Options) Box {
 	switch opts.Exchange {
 	case LazyExchange:
-		return New(p, handler, opts)
+		return newLazy(p, handler, opts)
 	case RoundExchange:
 		mb, err := NewRound(p, handler, opts)
 		if err != nil {
 			panic(err) // nil handler or unknown scheme: programming error
+		}
+		return mb
+	case SyncExchange:
+		mb, err := NewSync(p, handler, opts)
+		if err != nil {
+			panic(err)
 		}
 		return mb
 	}
@@ -105,6 +140,7 @@ func NewBox(p *transport.Proc, handler Handler, opts Options) Box {
 var (
 	_ Box = (*Mailbox)(nil)
 	_ Box = (*RoundMailbox)(nil)
+	_ Box = (*SyncMailbox)(nil)
 )
 
 func (o Options) withDefaults() Options {
@@ -117,11 +153,23 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// hopUniverse returns the partner set a mailbox builds its dense slot
+// table over. With a routing-mutation hook installed (testing only) the
+// universe widens to every rank, so deliberately wrong hops reach the
+// transport and the delivery oracle — rather than a slot-table panic —
+// is what catches them.
+func (o Options) hopUniverse(topo machine.Topology, me machine.Rank) []machine.Rank {
+	if o.Hooks != nil && o.Hooks.NextHop != nil {
+		return topo.HopPartners(machine.NoRoute, me)
+	}
+	return topo.HopPartners(o.Scheme, me)
+}
+
 // Stats counts mailbox-level activity for one rank.
 type Stats struct {
 	// Sends is the number of application point-to-point messages queued.
 	Sends uint64
-	// Broadcasts is the number of SendBcast calls.
+	// Broadcasts is the number of Broadcast calls.
 	Broadcasts uint64
 	// Delivered is the number of messages handed to the callback.
 	Delivered uint64
@@ -141,41 +189,47 @@ type Stats struct {
 	EmptyRoundMsgs uint64
 }
 
-// Mailbox is the YGM communication endpoint for one rank. It is confined
-// to its rank's goroutine. All ranks of the world must construct their
-// mailbox with identical Options; WaitEmpty is a collective operation.
+// Mailbox is the lazy-exchange YGM communication endpoint for one rank.
+// It is confined to its rank's goroutine. All ranks of the world must
+// construct their mailbox with identical Options; WaitEmpty is a
+// collective operation.
 type Mailbox struct {
 	p       *transport.Proc
 	opts    Options
 	handler Handler
 	stats   Stats
 
-	// Coalescing buffers, one per next-hop rank currently holding
-	// records. bufOrder keeps hop ranks in first-use order so flushes
-	// are deterministic for a deterministic send sequence.
-	bufs     map[machine.Rank]*codec.Writer
-	bufCount map[machine.Rank]int
-	bufOrder []machine.Rank
-	queued   int
+	// router is the precomputed next-hop table for this rank.
+	router *machine.Router
+	// slots holds the per-partner coalescing buffers.
+	slots  hopSlots
+	queued int
+
+	// drainScratch is the reusable packet batch for drainAvailable.
+	drainScratch []*transport.Packet
 
 	sinceLastPoll int
-	processing    bool // true while records of a packet are being handled
+	// processing counts packets currently being handled (a depth, not a
+	// flag: a handler that illegally re-enters the termination path can
+	// nest packet processing before the watchdog catches it).
+	processing int
 
 	term termDetector
 }
 
-// New creates a mailbox on rank p with the given receive handler.
-func New(p *transport.Proc, handler Handler, opts Options) *Mailbox {
+// newLazy creates a lazy-exchange mailbox on rank p.
+func newLazy(p *transport.Proc, handler Handler, opts Options) *Mailbox {
 	if handler == nil {
 		panic("ygm: nil handler")
 	}
 	mb := &Mailbox{
-		p:        p,
-		opts:     opts.withDefaults(),
-		handler:  handler,
-		bufs:     make(map[machine.Rank]*codec.Writer),
-		bufCount: make(map[machine.Rank]int),
+		p:       p,
+		opts:    opts.withDefaults(),
+		handler: handler,
 	}
+	topo := p.Topo()
+	mb.router = topo.NewRouter(mb.opts.Scheme, p.Rank())
+	mb.slots.init(topo, p.Rank(), mb.opts.hopUniverse(topo, p.Rank()))
 	mb.term.init(p, &mb.stats)
 	mb.term.hooks = mb.opts.Hooks
 	return mb
@@ -190,10 +244,23 @@ func (mb *Mailbox) Scheme() machine.Scheme { return mb.opts.Scheme }
 // Stats returns a copy of the mailbox counters.
 func (mb *Mailbox) Stats() Stats { return mb.stats }
 
+// nextHop routes one unicast record held by this rank: a routing-table
+// load, or the mutation hook when one is installed.
+//
+//ygm:hotpath
+func (mb *Mailbox) nextHop(dst machine.Rank) machine.Rank {
+	if mb.opts.Hooks != nil && mb.opts.Hooks.NextHop != nil {
+		return mb.opts.Hooks.NextHop(mb.p.Topo(), mb.opts.Scheme, mb.p.Rank(), dst)
+	}
+	return mb.router.Next(dst)
+}
+
 // Send queues a point-to-point message for dst. If dst is the calling
 // rank the message is delivered synchronously. Queueing may trigger a
 // communication context (flush plus opportunistic receive) when the
 // mailbox reaches capacity.
+//
+//ygm:hotpath
 func (mb *Mailbox) Send(dst machine.Rank, payload []byte) {
 	if !mb.p.Topo().Valid(dst) {
 		panic(fmt.Sprintf("ygm: send to invalid rank %d", dst))
@@ -203,17 +270,16 @@ func (mb *Mailbox) Send(dst machine.Rank, payload []byte) {
 		mb.deliver(payload)
 		return
 	}
-	hop := mb.opts.nextHop(mb.p.Topo(), mb.p.Rank(), dst)
-	mb.enqueue(hop, kindUnicast, dst, payload)
+	mb.enqueue(mb.nextHop(dst), kindUnicast, dst, payload)
 	mb.afterQueue()
 	mb.checkCapacityBound()
 }
 
-// SendBcast queues a broadcast of payload to every other rank, routed by
+// Broadcast queues a broadcast of payload to every other rank, routed by
 // the scheme-specific fan-out of Section III (NodeRemote and NLNR use
 // N-1 remote messages; NodeLocal uses C*(N-1); NoRoute sends individual
 // copies). The origin does not deliver to itself.
-func (mb *Mailbox) SendBcast(payload []byte) {
+func (mb *Mailbox) Broadcast(payload []byte) {
 	mb.stats.Broadcasts++
 	topo := mb.p.Topo()
 	me := mb.p.Rank()
@@ -265,6 +331,11 @@ func (mb *Mailbox) SendBcast(payload []byte) {
 	mb.checkCapacityBound()
 }
 
+// SendBcast queues a broadcast to every other rank.
+//
+// Deprecated: use Broadcast.
+func (mb *Mailbox) SendBcast(payload []byte) { mb.Broadcast(payload) }
+
 // nlnrBcastFanout sends the NLNR remote-distribution stage for the
 // calling rank's residue class: one message per other node n' with
 // n' mod C == this core's offset, addressed to core (myNode mod C).
@@ -278,27 +349,30 @@ func (mb *Mailbox) nlnrBcastFanout(payload []byte) {
 	}
 }
 
-// enqueue appends one record to the coalescing buffer for hop.
+// enqueue appends one record to the coalescing slot for hop.
+//
+//ygm:hotpath
 func (mb *Mailbox) enqueue(hop machine.Rank, kind recordKind, dst machine.Rank, payload []byte) {
 	if hop == mb.p.Rank() {
 		panic(fmt.Sprintf("ygm: routing produced a self-hop on rank %d", hop))
 	}
-	w, ok := mb.bufs[hop]
-	if !ok {
-		w = codec.NewWriter(recordSize(kind, dst, len(payload)) + 64)
-		mb.bufs[hop] = w
-		mb.bufOrder = append(mb.bufOrder, hop)
+	b := mb.slots.buf(hop)
+	if b == nil {
+		panic(fmt.Sprintf("ygm: rank %d has no coalescing slot for hop %d under %v",
+			mb.p.Rank(), hop, mb.opts.Scheme))
 	}
-	appendRecord(w, kind, dst, payload)
-	mb.bufCount[hop]++
+	appendRecord(&b.w, kind, dst, payload)
+	b.count++
 	mb.queued++
 	mb.opts.tapQueued(mb.p.Rank(), hop, dst, kind, payload)
 }
 
 // afterQueue runs the capacity check and opportunistic poll that follow
 // any application-level queueing operation.
+//
+//ygm:hotpath
 func (mb *Mailbox) afterQueue() {
-	if mb.processing {
+	if mb.processing > 0 {
 		// Forwards spawned while handling a packet are flushed by the
 		// caller once the whole packet is processed.
 		return
@@ -340,45 +414,41 @@ func (mb *Mailbox) pollOnce() bool {
 }
 
 // flushAll sends every non-empty coalescing buffer to its hop rank.
-// Buffers are sent in first-use order; each becomes one transport packet.
+// Buffers are sent in first-use order; each becomes one pooled transport
+// packet whose payload returns to the pool at the receiver.
+//
+//ygm:hotpath
 func (mb *Mailbox) flushAll() {
 	if mb.queued == 0 {
 		return
 	}
 	sent := false
-	for _, hop := range mb.bufOrder {
-		w := mb.bufs[hop]
-		if w.Len() == 0 {
+	for _, i := range mb.slots.active {
+		b := &mb.slots.slots[i]
+		if b.count == 0 {
 			continue
 		}
-		payload := make([]byte, w.Len())
-		copy(payload, w.Bytes())
-		mb.p.Send(hop, transport.TagData, payload)
-		mb.stats.HopsSent += uint64(mb.bufCount[hop])
-		mb.queued -= mb.bufCount[hop]
-		mb.bufCount[hop] = 0
-		w.Reset()
+		mb.stats.HopsSent += uint64(b.count)
+		mb.queued -= b.count
+		b.count = 0
+		sendPooledBuf(mb.p, b, transport.TagData, mb.opts.ZeroCopyLocal)
 		sent = true
 	}
+	mb.slots.active = mb.slots.active[:0]
 	if sent {
 		mb.stats.Flushes++
 	}
 	if mb.queued != 0 {
 		panic("ygm: queued-record accounting out of balance")
 	}
-	// Reset buffer order occasionally to bound the map for long runs
-	// with shifting destination sets.
-	if len(mb.bufOrder) > 4*mb.p.Topo().Cores()+64 {
-		mb.bufs = make(map[machine.Rank]*codec.Writer)
-		mb.bufCount = make(map[machine.Rank]int)
-		mb.bufOrder = mb.bufOrder[:0]
-	}
 }
 
-// processPacket decodes and dispatches every record in pkt, then flushes
-// any forwards the records generated.
+// processPacket decodes and dispatches every record in pkt, recycles the
+// packet, then flushes any forwards the records generated.
+//
+//ygm:hotpath
 func (mb *Mailbox) processPacket(pkt *transport.Packet) {
-	mb.processing = true
+	mb.processing++
 	r := codec.NewReader(pkt.Payload)
 	for r.Remaining() > 0 {
 		rec, err := parseRecord(r)
@@ -392,13 +462,20 @@ func (mb *Mailbox) processPacket(pkt *transport.Packet) {
 		mb.p.Compute(mb.p.Model().RecordHandlingTime(len(rec.payload)))
 		mb.dispatch(rec)
 	}
-	mb.processing = false
+	mb.processing--
+	// Forwards were re-encoded into coalescing slots and deliveries have
+	// returned, so nothing aliases the packet buffer any more.
+	mb.p.Recycle(pkt)
 	if mb.queued >= mb.opts.Capacity {
 		mb.flushAll()
 	}
 }
 
 // dispatch delivers or forwards one record according to its kind.
+// Forwarded payloads are copied into the destination slot's buffer by
+// appendRecord itself, so no intermediate per-record copy is needed.
+//
+//ygm:hotpath
 func (mb *Mailbox) dispatch(rec record) {
 	topo := mb.p.Topo()
 	me := mb.p.Rank()
@@ -408,60 +485,49 @@ func (mb *Mailbox) dispatch(rec record) {
 			mb.deliver(rec.payload)
 			return
 		}
-		hop := mb.opts.nextHop(topo, me, rec.dst)
-		mb.enqueue(hop, kindUnicast, rec.dst, mb.copyPayload(rec.payload))
+		mb.enqueue(mb.nextHop(rec.dst), kindUnicast, rec.dst, rec.payload)
 	case kindBcastDeliver:
 		mb.deliver(rec.payload)
 	case kindBcastLocalFanout:
 		mb.deliver(rec.payload)
-		payload := mb.copyPayload(rec.payload)
 		node, core := topo.Node(me), topo.Core(me)
 		for n := 0; n < topo.Nodes(); n++ {
 			if n != node {
-				mb.enqueue(topo.RankOf(n, core), kindBcastDeliver, machine.Nil, payload)
+				mb.enqueue(topo.RankOf(n, core), kindBcastDeliver, machine.Nil, rec.payload)
 			}
 		}
 	case kindBcastRemoteDistribute, kindBcastNLNRDistribute:
 		mb.deliver(rec.payload)
-		payload := mb.copyPayload(rec.payload)
 		node, core := topo.Node(me), topo.Core(me)
 		for c := 0; c < topo.Cores(); c++ {
 			if c != core {
-				mb.enqueue(topo.RankOf(node, c), kindBcastDeliver, machine.Nil, payload)
+				mb.enqueue(topo.RankOf(node, c), kindBcastDeliver, machine.Nil, rec.payload)
 			}
 		}
 	case kindBcastNLNRFanout:
 		mb.deliver(rec.payload)
-		mb.nlnrBcastFanout(mb.copyPayload(rec.payload))
+		mb.nlnrBcastFanout(rec.payload)
 	default:
 		panic(fmt.Sprintf("ygm: unknown record kind %d", rec.kind))
 	}
 }
 
-// copyPayload detaches a record payload from its packet buffer so it can
-// be re-encoded into an outgoing coalescing buffer. (Payloads delivered
-// to the handler are *not* copied; handlers must not retain them.)
-func (mb *Mailbox) copyPayload(b []byte) []byte {
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
-}
-
 // deliver invokes the handler, charging the per-message compute cost.
+//
+//ygm:hotpath
 func (mb *Mailbox) deliver(payload []byte) {
 	if mb.opts.dropDelivery(mb.p.Rank(), payload) {
 		return
 	}
 	mb.stats.Delivered++
 	mb.p.Compute(mb.p.Model().ComputePerMessage)
+	if mb.opts.CopyOnDeliver {
+		c := make([]byte, len(payload)) //ygmvet:ignore allocinloop -- opt-in retain-safety copy; off on the default path
+		copy(c, payload)
+		payload = c
+	}
 	mb.handler(mb, payload)
 }
-
-// Mailbox and SyncMailbox both satisfy Sender.
-var (
-	_ Sender = (*Mailbox)(nil)
-	_ Sender = (*SyncMailbox)(nil)
-)
 
 // drainAvailable flushes pending buffers, then processes every
 // physically present data packet (fast-forwarding the virtual clock to
@@ -473,20 +539,33 @@ var (
 // ratchet).
 func (mb *Mailbox) drainAvailable() {
 	mb.flushAll()
+	if mb.processing > 0 {
+		// A handler illegally re-entered the termination path (the
+		// blockincallback pattern). Drain into a private batch so the
+		// outer drain's scratch stays intact; the collective step that
+		// follows will block and the deadlock watchdog reports the abuse.
+		var scratch []*transport.Packet
+		mb.drainWaves(&scratch)
+		return
+	}
+	mb.drainWaves(&mb.drainScratch)
+}
+
+// drainWaves processes arrived packets in waves — each wave is the set
+// physically present right now, batched out of the inbox under one lock
+// — flushing the forwards each wave generates, so multi-hop routes
+// pipeline wave by wave instead of buffering a whole drain.
+func (mb *Mailbox) drainWaves(scratch *[]*transport.Packet) {
 	for {
-		// Process one wave — the packets physically present right now —
-		// then flush the forwards they generated, so multi-hop routes
-		// pipeline wave by wave instead of buffering a whole drain.
-		n := mb.p.Pending(transport.TagData)
-		if n == 0 {
+		batch := mb.p.DrainBatch(transport.TagData, (*scratch)[:0])
+		*scratch = batch
+		if len(batch) == 0 {
 			return
 		}
-		for i := 0; i < n; i++ {
-			pkt := mb.p.Drain(transport.TagData)
-			if pkt == nil {
-				break
-			}
+		for i, pkt := range batch {
+			mb.p.Absorb(pkt)
 			mb.processPacket(pkt)
+			batch[i] = nil
 		}
 		mb.flushAll()
 	}
@@ -514,15 +593,16 @@ func (mb *Mailbox) WaitEmpty() {
 // maintain external work queues (the HavoqGT pattern) call it in a loop,
 // interleaving their own work; once any rank observes true, every rank
 // will observe true for the same generation. After returning true the
-// detector resets and the mailbox can be reused.
-func (mb *Mailbox) TestEmpty() bool {
+// detector resets and the mailbox can be reused. The error is always nil
+// for this variant.
+func (mb *Mailbox) TestEmpty() (bool, error) {
 	mb.drainAvailable()
 	if mb.term.step(false) {
 		mb.term.reset()
 		checkQuiescent(mb.p, mb.queued, "TestEmpty")
-		return true
+		return true, nil
 	}
-	return false
+	return false, nil
 }
 
 // PendingSends returns the number of records currently queued in
@@ -533,11 +613,14 @@ func (mb *Mailbox) PendingSends() int { return mb.queued }
 // below capacity (exposed for tests and latency-sensitive callers).
 func (mb *Mailbox) Flush() { mb.enterCommContext() }
 
-// sortedHops returns buffered hop ranks in ascending order (test helper).
+// sortedHops returns the hop ranks currently holding queued records, in
+// ascending order (test helper).
 func (mb *Mailbox) sortedHops() []machine.Rank {
-	hops := make([]machine.Rank, 0, len(mb.bufs))
-	for h := range mb.bufs {
-		hops = append(hops, h)
+	hops := make([]machine.Rank, 0, len(mb.slots.active))
+	for _, i := range mb.slots.active {
+		if mb.slots.slots[i].count > 0 {
+			hops = append(hops, mb.slots.slots[i].hop)
+		}
 	}
 	sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
 	return hops

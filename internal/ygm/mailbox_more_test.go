@@ -22,7 +22,7 @@ func TestOptionsDefaults(t *testing.T) {
 
 func TestNewPanicsOnNilHandler(t *testing.T) {
 	_, err := transport.Run(transport.Config{Topo: machine.New(1, 1)}, func(p *transport.Proc) error {
-		New(p, nil, Options{})
+		New(p, nil, WithExchange(LazyExchange))
 		return nil
 	})
 	if err == nil {
@@ -112,9 +112,15 @@ func TestMixedWaitAndTestEmpty(t *testing.T) {
 				mb.WaitEmpty()
 				return nil
 			}
-			for !mb.TestEmpty() {
+			for {
+				done, err := mb.TestEmpty()
+				if err != nil {
+					return err
+				}
+				if done {
+					return nil
+				}
 			}
-			return nil
 		})
 }
 
@@ -163,14 +169,18 @@ func TestSingleRankWorld(t *testing.T) {
 		},
 		func(p *transport.Proc, mb *Mailbox) error {
 			mb.Send(0, encodeU64(1))
-			mb.SendBcast(encodeU64(2)) // no other ranks: no deliveries
+			mb.SendBcast(encodeU64(2)) // deprecated alias; no other ranks: no deliveries
 			mb.WaitEmpty()
-			if !mb.TestEmpty() {
-				// TestEmpty may need a couple of calls for a fresh cycle.
-				for !mb.TestEmpty() {
+			// TestEmpty may need a couple of calls for a fresh cycle.
+			for {
+				done, err := mb.TestEmpty()
+				if err != nil {
+					return err
+				}
+				if done {
+					return nil
 				}
 			}
-			return nil
 		})
 	if len(got) != 1 || got[0] != 1 {
 		t.Fatalf("deliveries = %v", got)

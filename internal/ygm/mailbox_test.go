@@ -22,7 +22,7 @@ func runMailbox(t *testing.T, nodes, cores int, opts Options, handler func(p *tr
 		Seed:          11,
 		TrackPartners: true,
 	}, func(p *transport.Proc) error {
-		mb := New(p, handler(p), opts)
+		mb := New(p, handler(p), WithOptions(opts), WithExchange(LazyExchange)).(*Mailbox)
 		return body(p, mb)
 	})
 	if err != nil {
@@ -198,7 +198,7 @@ func TestChannelConstraints(t *testing.T) {
 						dst := machine.Rank(rng.Intn(p.WorldSize()))
 						mb.Send(dst, encodeU64(uint64(i)))
 					}
-					mb.SendBcast(encodeU64(999))
+					mb.Broadcast(encodeU64(999))
 					mb.WaitEmpty()
 					return nil
 				})
@@ -249,7 +249,7 @@ func TestBroadcastDelivery(t *testing.T) {
 				},
 				func(p *transport.Proc, mb *Mailbox) error {
 					if p.Rank() == 5 {
-						mb.SendBcast(encodeU64(42))
+						mb.Broadcast(encodeU64(42))
 					}
 					mb.WaitEmpty()
 					return nil
@@ -291,7 +291,7 @@ func TestBroadcastRemoteMessageCounts(t *testing.T) {
 				},
 				func(p *transport.Proc, mb *Mailbox) error {
 					if p.Rank() == 1 {
-						mb.SendBcast(encodeU64(1))
+						mb.Broadcast(encodeU64(1))
 					}
 					mb.WaitEmpty()
 					return nil
@@ -416,7 +416,14 @@ func TestTestEmptyPolling(t *testing.T) {
 				}
 			}
 			spins := 0
-			for !mb.TestEmpty() {
+			for {
+				done, err := mb.TestEmpty()
+				if err != nil {
+					return err
+				}
+				if done {
+					break
+				}
 				spins++
 				// A real poller does external work between calls; yield
 				// so peer ranks can make progress on one OS thread.
@@ -530,7 +537,7 @@ func TestRandomTrafficProperty(t *testing.T) {
 				myU, myB := uint64(0), uint64(0)
 				for i := 0; i < 100; i++ {
 					if rng.Intn(10) == 0 {
-						mb.SendBcast(encodeU64(uint64(i)))
+						mb.Broadcast(encodeU64(uint64(i)))
 						myB++
 					} else {
 						dst := machine.Rank(rng.Intn(p.WorldSize()))
@@ -574,7 +581,8 @@ func TestStragglerAsyncAdvantage(t *testing.T) {
 	}
 	finish := make([]float64, topo.WorldSize())
 	_, err := transport.Run(cfg, func(p *transport.Proc) error {
-		mb := New(p, func(s Sender, payload []byte) {}, Options{Scheme: machine.NodeRemote, Capacity: 8})
+		mb := New(p, func(s Sender, payload []byte) {},
+			WithScheme(machine.NodeRemote), WithCapacity(8), WithExchange(LazyExchange)).(*Mailbox)
 		p.Compute(100e-6)
 		// Ranks 0..3 (nodes 0-1) exchange among themselves only.
 		if p.Rank() < 4 {

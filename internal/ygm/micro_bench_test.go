@@ -28,11 +28,10 @@ func benchWorkload(b *testing.B, style ExchangeStyle, scheme machine.Scheme) {
 			Model: netsim.Quartz(),
 			Seed:  12345,
 		}, func(p *transport.Proc) error {
-			mb := NewBox(p, func(s Sender, payload []byte) {}, Options{
-				Scheme:   scheme,
-				Capacity: 256,
-				Exchange: style,
-			})
+			mb := New(p, func(s Sender, payload []byte) {},
+				WithScheme(scheme),
+				WithCapacity(256),
+				WithExchange(style))
 			rng := p.Rng()
 			for k := 0; k < msgsPerRank; k++ {
 				mb.Send(machine.Rank(rng.Intn(p.WorldSize())), encodeU64(uint64(k)))

@@ -1,0 +1,99 @@
+package ygm
+
+import (
+	"errors"
+
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+)
+
+// ErrUnsupported is returned by Box methods that a mailbox variant does
+// not implement — most notably TestEmpty on the round-matched and
+// synchronous variants, whose exchanges are collective and cannot make
+// unilateral nonblocking progress.
+var ErrUnsupported = errors.New("ygm: operation not supported by this mailbox variant")
+
+// Option configures a mailbox built by New. Options compose left to
+// right; later options override earlier ones.
+type Option func(*Options)
+
+// WithScheme selects the routing protocol (default machine.NoRoute).
+func WithScheme(s machine.Scheme) Option {
+	return func(o *Options) { o.Scheme = s }
+}
+
+// WithExchange selects the exchange semantics: RoundExchange (default),
+// LazyExchange, or SyncExchange.
+func WithExchange(e ExchangeStyle) Option {
+	return func(o *Options) { o.Exchange = e }
+}
+
+// WithCapacity sets the number of queued records that triggers an
+// exchange — the paper's "mailbox size" (default 1024).
+func WithCapacity(n int) Option {
+	return func(o *Options) { o.Capacity = n }
+}
+
+// WithPollEvery sets how many Sends pass between opportunistic inbox
+// polls (lazy exchange only; default 8).
+func WithPollEvery(n int) Option {
+	return func(o *Options) { o.PollEvery = n }
+}
+
+// WithZeroCopyLocal enables the Section VII zero-copy local exchange:
+// coalescing buffers bound for same-node ranks are handed to the
+// receiver without the pack-time copy (the buffer itself travels and is
+// recycled after delivery). Off by default to model the copying
+// interconnect path the paper measures.
+func WithZeroCopyLocal(on bool) Option {
+	return func(o *Options) { o.ZeroCopyLocal = on }
+}
+
+// WithCopyOnDeliver makes the mailbox copy each payload before invoking
+// the handler. Handlers are normally forbidden from retaining payload
+// slices — delivery buffers are pooled and recycled as soon as the
+// packet is dispatched — so a handler that must keep payloads beyond its
+// own return either copies them itself or sets this option.
+func WithCopyOnDeliver(on bool) Option {
+	return func(o *Options) { o.CopyOnDeliver = on }
+}
+
+// WithTap installs oracle instrumentation observing every queued record
+// (testing only; see Tap).
+func WithTap(t Tap) Option {
+	return func(o *Options) { o.Tap = t }
+}
+
+// WithHooks installs fault-injection hooks (testing only; see TestHooks).
+func WithHooks(h *TestHooks) Option {
+	return func(o *Options) { o.Hooks = h }
+}
+
+// WithOptions overlays a legacy Options struct wholesale — the bridge
+// for code still assembling Options values.
+//
+// Deprecated: compose the individual With* options instead.
+func WithOptions(legacy Options) Option {
+	return func(o *Options) { *o = legacy }
+}
+
+// New builds the mailbox variant selected by the options (RoundExchange
+// by default) on rank p with the given receive handler. It panics on a
+// nil handler or an invalid configuration: mailbox construction is
+// collective — every rank must construct one with identical options —
+// so a bad configuration is a programming error, not a runtime
+// condition.
+//
+// This is the single constructor for all three exchange styles:
+//
+//	mb := ygm.New(p, handler,
+//	    ygm.WithScheme(machine.NLNR),
+//	    ygm.WithExchange(ygm.LazyExchange),
+//	    ygm.WithCapacity(1<<18))
+func New(p *transport.Proc, handler Handler, opts ...Option) Box {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return NewBox(p, handler, o)
+}

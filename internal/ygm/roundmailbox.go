@@ -45,8 +45,9 @@ func roundTag(epoch uint64, stage int, round uint64) transport.Tag {
 // the paper's termination detection keys on.
 //
 // RoundMailbox shares the Sender interface and record formats with
-// Mailbox and SyncMailbox. WaitEmpty is collective; TestEmpty is not
-// provided (external-queue polling belongs to the asynchronous Mailbox).
+// Mailbox and SyncMailbox. WaitEmpty is collective; TestEmpty returns
+// ErrUnsupported (external-queue polling belongs to the asynchronous
+// Mailbox).
 type RoundMailbox struct {
 	p       *transport.Proc
 	opts    Options
@@ -65,18 +66,33 @@ type RoundMailbox struct {
 	term termDetector
 }
 
-// roundStage is one exchange phase with its fixed partner set.
+// roundStage is one exchange phase with its fixed partner set. The
+// per-partner buffers for the round being assembled (cur) and the
+// following one (next) are dense slices parallel to partners, reached
+// through a world-sized rank→index table; both generations keep their
+// writer storage across rounds, so steady-state stages allocate nothing.
 type roundStage struct {
 	local    bool
 	partners []machine.Rank
-	// cur / next hold per-partner record buffers for the round being
-	// assembled and the following one.
-	cur, next map[machine.Rank]*roundBuf
+	slotOf   []int32 // world-sized; -1 for ranks outside partners
+	cur      []hopBuf
+	next     []hopBuf
 }
 
-type roundBuf struct {
-	w     codec.Writer
-	count int
+// initSlots builds the stage's dense buffer tables.
+func (st *roundStage) initSlots(topo machine.Topology, me machine.Rank) {
+	st.slotOf = make([]int32, topo.WorldSize())
+	for i := range st.slotOf {
+		st.slotOf[i] = -1
+	}
+	st.cur = make([]hopBuf, len(st.partners))
+	st.next = make([]hopBuf, len(st.partners))
+	for i, hop := range st.partners {
+		local := topo.SameNode(me, hop)
+		st.cur[i] = hopBuf{hop: hop, local: local}
+		st.next[i] = hopBuf{hop: hop, local: local}
+		st.slotOf[hop] = int32(i)
+	}
 }
 
 // NewRound builds a round-matched mailbox. Collective: all ranks must
@@ -132,8 +148,7 @@ func NewRound(p *transport.Proc, handler Handler, opts Options) (*RoundMailbox, 
 		return nil, fmt.Errorf("ygm: unknown scheme %v", mb.opts.Scheme)
 	}
 	for s := range mb.stages {
-		mb.stages[s].cur = make(map[machine.Rank]*roundBuf)
-		mb.stages[s].next = make(map[machine.Rank]*roundBuf)
+		mb.stages[s].initSlots(topo, me)
 	}
 	mb.term.init(p, &mb.stats)
 	mb.term.hooks = mb.opts.Hooks
@@ -148,6 +163,8 @@ func (mb *RoundMailbox) PendingSends() int { return mb.queued }
 
 // Send queues a point-to-point message; self-sends deliver immediately.
 // Reaching the mailbox capacity triggers a full exchange round.
+//
+//ygm:hotpath
 func (mb *RoundMailbox) Send(dst machine.Rank, payload []byte) {
 	if !mb.p.Topo().Valid(dst) {
 		panic(fmt.Sprintf("ygm: send to invalid rank %d", dst))
@@ -162,9 +179,9 @@ func (mb *RoundMailbox) Send(dst machine.Rank, payload []byte) {
 	mb.maybeRound()
 }
 
-// SendBcast queues a broadcast with the scheme fan-out shared with the
+// Broadcast queues a broadcast with the scheme fan-out shared with the
 // other mailbox variants.
-func (mb *RoundMailbox) SendBcast(payload []byte) {
+func (mb *RoundMailbox) Broadcast(payload []byte) {
 	mb.stats.Broadcasts++
 	topo := mb.p.Topo()
 	me := mb.p.Rank()
@@ -209,6 +226,11 @@ func (mb *RoundMailbox) SendBcast(payload []byte) {
 	mb.maybeRound()
 }
 
+// SendBcast queues a broadcast to every other rank.
+//
+// Deprecated: use Broadcast.
+func (mb *RoundMailbox) SendBcast(payload []byte) { mb.Broadcast(payload) }
+
 func (mb *RoundMailbox) nlnrFanout(payload []byte) {
 	topo := mb.p.Topo()
 	node, core := topo.Node(mb.p.Rank()), topo.Core(mb.p.Rank())
@@ -234,6 +256,8 @@ func (mb *RoundMailbox) stageOf(hop machine.Rank, after int) int {
 // enqueue places one record into the correct stage buffer: the earliest
 // remaining stage of the current round if one can still carry it,
 // otherwise the earliest stage of the next round.
+//
+//ygm:hotpath
 func (mb *RoundMailbox) enqueue(hop machine.Rank, kind recordKind, dst machine.Rank, payload []byte) {
 	if hop == mb.p.Rank() {
 		panic("ygm: routing produced a self-hop")
@@ -248,14 +272,13 @@ func (mb *RoundMailbox) enqueue(hop machine.Rank, kind recordKind, dst machine.R
 		}
 	}
 	st := &mb.stages[s]
-	bufs := st.cur
-	if nextRound {
-		bufs = st.next
+	i := st.slotOf[hop]
+	if i < 0 {
+		panic(fmt.Sprintf("ygm: hop %d is not a stage-%d partner under %v", hop, s, mb.opts.Scheme))
 	}
-	b := bufs[hop]
-	if b == nil {
-		b = &roundBuf{}
-		bufs[hop] = b
+	b := &st.cur[i]
+	if nextRound {
+		b = &st.next[i]
 	}
 	appendRecord(&b.w, kind, dst, payload)
 	b.count++
@@ -274,7 +297,12 @@ func (mb *RoundMailbox) maybeRound() {
 // order, send one (possibly empty) message to each partner, then receive
 // exactly one from each and process its records. Records forwarded to a
 // later stage travel in this same round — the bundling that gives the
-// routed schemes their message counts.
+// routed schemes their message counts. Non-empty buffers travel as
+// pooled packets; empty round messages are nil payloads; received
+// packets are recycled once fully dispatched, so a steady-state round
+// allocates nothing.
+//
+//ygm:hotpath
 func (mb *RoundMailbox) executeRound() {
 	r := mb.round
 	mb.round++
@@ -289,22 +317,18 @@ func (mb *RoundMailbox) executeRound() {
 		}
 		st := &mb.stages[s]
 		tag := roundTag(mb.epoch, s, r)
-		for _, partner := range st.partners {
-			var payload []byte
-			if b := st.cur[partner]; b != nil {
-				payload = make([]byte, b.w.Len())
-				copy(payload, b.w.Bytes())
+		for i := range st.cur {
+			b := &st.cur[i]
+			if b.count > 0 {
 				mb.stats.HopsSent += uint64(b.count)
 				mb.queued -= b.count
+				b.count = 0
 				sentAny = true
-				delete(st.cur, partner)
+				sendPooledBuf(mb.p, b, tag, mb.opts.ZeroCopyLocal)
 			} else {
 				mb.stats.EmptyRoundMsgs++
+				mb.p.SendPooled(b.hop, tag, nil)
 			}
-			mb.p.Send(partner, tag, payload)
-		}
-		if len(st.cur) != 0 {
-			panic("ygm: round stage left records for a non-partner")
 		}
 		for range st.partners {
 			pkt := mb.p.Recv(tag)
@@ -318,6 +342,7 @@ func (mb *RoundMailbox) executeRound() {
 				mb.p.Compute(mb.p.Model().RecordHandlingTime(len(rec.payload)))
 				mb.dispatch(rec)
 			}
+			mb.p.Recycle(pkt)
 		}
 	}
 	mb.inRoundStage = -1
@@ -335,56 +360,59 @@ func (mb *RoundMailbox) executeRound() {
 }
 
 // dispatch delivers or requeues one received record (shared semantics
-// with the other mailbox variants).
+// with the other mailbox variants). Requeued payloads are copied into
+// the destination stage buffer by appendRecord itself, so no
+// intermediate per-record copy is needed.
+//
+//ygm:hotpath
 func (mb *RoundMailbox) dispatch(rec record) {
 	topo := mb.p.Topo()
 	me := mb.p.Rank()
-	detach := func(b []byte) []byte {
-		out := make([]byte, len(b))
-		copy(out, b)
-		return out
-	}
 	switch rec.kind {
 	case kindUnicast:
 		if rec.dst == me {
 			mb.deliver(rec.payload)
 			return
 		}
-		mb.enqueue(mb.opts.nextHop(topo, me, rec.dst), kindUnicast, rec.dst, detach(rec.payload))
+		mb.enqueue(mb.opts.nextHop(topo, me, rec.dst), kindUnicast, rec.dst, rec.payload)
 	case kindBcastDeliver:
 		mb.deliver(rec.payload)
 	case kindBcastLocalFanout:
 		mb.deliver(rec.payload)
-		payload := detach(rec.payload)
 		node, core := topo.Node(me), topo.Core(me)
 		for n := 0; n < topo.Nodes(); n++ {
 			if n != node {
-				mb.enqueue(topo.RankOf(n, core), kindBcastDeliver, machine.Nil, payload)
+				mb.enqueue(topo.RankOf(n, core), kindBcastDeliver, machine.Nil, rec.payload)
 			}
 		}
 	case kindBcastRemoteDistribute, kindBcastNLNRDistribute:
 		mb.deliver(rec.payload)
-		payload := detach(rec.payload)
 		node, core := topo.Node(me), topo.Core(me)
 		for c := 0; c < topo.Cores(); c++ {
 			if c != core {
-				mb.enqueue(topo.RankOf(node, c), kindBcastDeliver, machine.Nil, payload)
+				mb.enqueue(topo.RankOf(node, c), kindBcastDeliver, machine.Nil, rec.payload)
 			}
 		}
 	case kindBcastNLNRFanout:
 		mb.deliver(rec.payload)
-		mb.nlnrFanout(detach(rec.payload))
+		mb.nlnrFanout(rec.payload)
 	default:
 		panic(fmt.Sprintf("ygm: unknown record kind %d", rec.kind))
 	}
 }
 
+//ygm:hotpath
 func (mb *RoundMailbox) deliver(payload []byte) {
 	if mb.opts.dropDelivery(mb.p.Rank(), payload) {
 		return
 	}
 	mb.stats.Delivered++
 	mb.p.Compute(mb.p.Model().ComputePerMessage)
+	if mb.opts.CopyOnDeliver {
+		c := make([]byte, len(payload)) //ygmvet:ignore allocinloop -- opt-in retain-safety copy; off on the default path
+		copy(c, payload)
+		payload = c
+	}
 	mb.handler(mb, payload)
 }
 
@@ -426,5 +454,9 @@ func (mb *RoundMailbox) WaitEmpty() {
 		}
 	}
 }
+
+// TestEmpty is unsupported on the round-matched variant: its exchanges
+// are collective, so it cannot make unilateral nonblocking progress.
+func (mb *RoundMailbox) TestEmpty() (bool, error) { return false, ErrUnsupported }
 
 var _ Sender = (*RoundMailbox)(nil)

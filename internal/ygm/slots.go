@@ -1,0 +1,85 @@
+package ygm
+
+import (
+	"ygm/internal/codec"
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+)
+
+// hopBuf is one partner's coalescing-buffer slot. The writer's backing
+// storage is retained across flushes (or replaced from the transport
+// buffer pool on zero-copy handoff), so a slot never allocates in steady
+// state.
+type hopBuf struct {
+	hop   machine.Rank
+	local bool // hop shares this rank's node
+	w     codec.Writer
+	count int
+}
+
+// hopSlots is a dense per-partner coalescing-buffer table: one slot per
+// rank this mailbox can ever transmit to (the machine.HopPartners
+// universe), indexed through a world-sized rank→slot map. Unlike the
+// rank-keyed maps it replaces, the table is built once at construction
+// and never rebuilt on reset — flushing truncates the active list and
+// leaves every slot armed.
+type hopSlots struct {
+	slots  []hopBuf
+	slotOf []int32 // world-sized; -1 for ranks outside the universe
+	// active lists slots holding records, in first-use order since the
+	// last flush, so flushes stay deterministic for a deterministic send
+	// sequence.
+	active []int32
+}
+
+// init builds the slot table over the given partner universe.
+func (hs *hopSlots) init(topo machine.Topology, me machine.Rank, partners []machine.Rank) {
+	hs.slots = make([]hopBuf, len(partners))
+	hs.slotOf = make([]int32, topo.WorldSize())
+	for i := range hs.slotOf {
+		hs.slotOf[i] = -1
+	}
+	for i, hop := range partners {
+		hs.slots[i] = hopBuf{hop: hop, local: topo.SameNode(me, hop)}
+		hs.slotOf[hop] = int32(i)
+	}
+	hs.active = make([]int32, 0, len(partners))
+}
+
+// buf returns hop's slot, marking it active on its first record since
+// the last flush, or nil when hop lies outside the partner universe.
+//
+//ygm:hotpath
+func (hs *hopSlots) buf(hop machine.Rank) *hopBuf {
+	i := hs.slotOf[hop]
+	if i < 0 {
+		return nil
+	}
+	b := &hs.slots[i]
+	if b.count == 0 {
+		hs.active = append(hs.active, i)
+	}
+	return b
+}
+
+// sendPooledBuf ships one coalescing buffer as a pooled packet and
+// re-arms the slot's writer. The default path copies the packed bytes
+// into a pool-recycled payload (modeling the send-side copy onto the
+// wire); with zeroCopyLocal, same-node buffers skip the copy and travel
+// as-is, the writer taking a recycled buffer in their place — the hybrid
+// exchange of the paper's Section VII. Either way the payload returns to
+// the pool when the receiver Recycles the packet, so steady-state
+// flushing allocates nothing.
+//
+//ygm:hotpath
+func sendPooledBuf(p *transport.Proc, b *hopBuf, tag transport.Tag, zeroCopyLocal bool) {
+	var payload []byte
+	if zeroCopyLocal && b.local {
+		payload = b.w.Detach(p.AcquireBuf(0))
+	} else {
+		payload = p.AcquireBuf(b.w.Len())
+		copy(payload, b.w.Bytes())
+		b.w.Reset()
+	}
+	p.SendPooled(b.hop, tag, payload)
+}

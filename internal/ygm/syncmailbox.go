@@ -21,7 +21,8 @@ import (
 // Unlike Mailbox, Send only queues: nothing moves until every rank calls
 // Exchange (a collective), making the programming model bulk-synchronous.
 // ExchangeUntilQuiet repeats exchanges until no rank holds undelivered
-// records, the synchronous analogue of WaitEmpty.
+// records, the synchronous analogue of WaitEmpty (which aliases it for
+// the Box interface).
 type SyncMailbox struct {
 	p       *transport.Proc
 	opts    Options
@@ -32,12 +33,27 @@ type SyncMailbox struct {
 	// stages is the exchange-phase sequence for the routing scheme;
 	// each stage carries the communicator it exchanges over.
 	stages []syncStage
+	// queued counts records encoded into stage buffers but not yet
+	// exchanged, across both generations.
+	queued int
+	// inStage is the stage currently exchanging (-1 outside Exchange);
+	// records spawned during its dispatch route to later stages of this
+	// Exchange, or to the next generation when none remains.
+	inStage int
 
-	// queue holds records awaiting their next hop.
-	queue []syncRecord
+	// sink adapts this mailbox to collective.BlobSink once, so Exchange
+	// does not box a fresh interface value per stage.
+	sink syncDispatcher
 }
 
-// syncStage is one exchange phase.
+// syncStage is one exchange phase. Records are encoded directly into
+// dense per-member coalescing buffers — parallel to the communicator's
+// member list and reached through a world-sized rank→index table — with
+// cur holding the generation the next Exchange ships and next the one
+// after (for records spawned during this stage's own dispatch, or too
+// late for the current Exchange). Buffer storage, the payload vector,
+// and the receive scratch all persist across exchanges, so a
+// steady-state stage allocates nothing.
 type syncStage struct {
 	comm *collective.Comm
 	// local is true for shared-memory phases: the stage moves records
@@ -46,14 +62,33 @@ type syncStage struct {
 	// all marks the NoRoute world exchange, which moves every queued
 	// record regardless of hop locality.
 	all bool
+
+	slotOf   []int32 // world-sized; -1 for ranks outside the communicator
+	cur      []hopBuf
+	next     []hopBuf
+	payloads [][]byte
+	scratch  []*transport.Packet
 }
 
-// syncRecord is one queued record with its precomputed next hop.
-type syncRecord struct {
-	hop     machine.Rank
-	kind    recordKind
-	dst     machine.Rank // unicast only
-	payload []byte
+// initSlots builds the stage's dense buffer tables over its communicator.
+func (st *syncStage) initSlots(topo machine.Topology, me machine.Rank) {
+	ranks := st.comm.Ranks()
+	st.slotOf = make([]int32, topo.WorldSize())
+	for i := range st.slotOf {
+		st.slotOf[i] = -1
+	}
+	st.cur = make([]hopBuf, len(ranks))
+	st.next = make([]hopBuf, len(ranks))
+	for i, hop := range ranks {
+		local := topo.SameNode(me, hop)
+		st.cur[i] = hopBuf{hop: hop, local: local}
+		st.next[i] = hopBuf{hop: hop, local: local}
+		if hop != me {
+			st.slotOf[hop] = int32(i)
+		}
+	}
+	st.payloads = make([][]byte, len(ranks))
+	st.scratch = make([]*transport.Packet, len(ranks))
 }
 
 // NewSync builds a synchronous mailbox. It is collective: every rank
@@ -67,7 +102,9 @@ func NewSync(p *transport.Proc, handler Handler, opts Options) (*SyncMailbox, er
 		opts:    opts.withDefaults(),
 		handler: handler,
 		world:   collective.World(p),
+		inStage: -1,
 	}
+	mb.sink.mb = mb
 	topo := p.Topo()
 	me := p.Rank()
 
@@ -138,6 +175,9 @@ func NewSync(p *transport.Proc, handler Handler, opts Options) (*SyncMailbox, er
 	if err != nil {
 		return nil, err
 	}
+	for s := range mb.stages {
+		mb.stages[s].initSlots(topo, me)
+	}
 	return mb, nil
 }
 
@@ -145,9 +185,11 @@ func NewSync(p *transport.Proc, handler Handler, opts Options) (*SyncMailbox, er
 func (mb *SyncMailbox) Stats() Stats { return mb.stats }
 
 // PendingSends reports queued, not-yet-exchanged records.
-func (mb *SyncMailbox) PendingSends() int { return len(mb.queue) }
+func (mb *SyncMailbox) PendingSends() int { return mb.queued }
 
 // Send queues a point-to-point message. Self-sends deliver immediately.
+//
+//ygm:hotpath
 func (mb *SyncMailbox) Send(dst machine.Rank, payload []byte) {
 	if !mb.p.Topo().Valid(dst) {
 		panic(fmt.Sprintf("ygm: send to invalid rank %d", dst))
@@ -161,9 +203,9 @@ func (mb *SyncMailbox) Send(dst machine.Rank, payload []byte) {
 	mb.push(hop, kindUnicast, dst, payload)
 }
 
-// SendBcast queues a broadcast using the scheme's fan-out (identical
+// Broadcast queues a broadcast using the scheme's fan-out (identical
 // record kinds and hop structure to the asynchronous Mailbox).
-func (mb *SyncMailbox) SendBcast(payload []byte) {
+func (mb *SyncMailbox) Broadcast(payload []byte) {
 	mb.stats.Broadcasts++
 	topo := mb.p.Topo()
 	me := mb.p.Rank()
@@ -207,6 +249,11 @@ func (mb *SyncMailbox) SendBcast(payload []byte) {
 	}
 }
 
+// SendBcast queues a broadcast to every other rank.
+//
+// Deprecated: use Broadcast.
+func (mb *SyncMailbox) SendBcast(payload []byte) { mb.Broadcast(payload) }
+
 // nlnrFanout queues this rank's NLNR remote-distribution records.
 func (mb *SyncMailbox) nlnrFanout(payload []byte) {
 	topo := mb.p.Topo()
@@ -218,20 +265,65 @@ func (mb *SyncMailbox) nlnrFanout(payload []byte) {
 	}
 }
 
+// stageOf returns the index of the first stage after `after` that can
+// carry a record bound for hop, or -1 if none remains in the current
+// Exchange.
+func (mb *SyncMailbox) stageOf(hop machine.Rank, after int) int {
+	local := mb.p.Topo().SameNode(mb.p.Rank(), hop)
+	for s := after + 1; s < len(mb.stages); s++ {
+		if mb.stages[s].all || mb.stages[s].local == local {
+			return s
+		}
+	}
+	return -1
+}
+
+// push encodes one record into the buffer of the earliest stage that can
+// still carry it this Exchange, or into the next generation of the
+// earliest matching stage when none remains.
+//
+//ygm:hotpath
 func (mb *SyncMailbox) push(hop machine.Rank, kind recordKind, dst machine.Rank, payload []byte) {
 	if hop == mb.p.Rank() {
 		panic("ygm: routing produced a self-hop")
 	}
-	mb.queue = append(mb.queue, syncRecord{hop: hop, kind: kind, dst: dst, payload: payload})
+	s := mb.stageOf(hop, mb.inStage)
+	nextGen := false
+	if s < 0 {
+		s = mb.stageOf(hop, -1)
+		nextGen = true
+		if s < 0 {
+			panic(fmt.Sprintf("ygm: no stage carries hop %d under %v", hop, mb.opts.Scheme))
+		}
+	}
+	st := &mb.stages[s]
+	i := st.slotOf[hop]
+	if i < 0 {
+		panic(fmt.Sprintf("ygm: sync exchange record outside stage-%d communicator (hop %d under %v)",
+			s, hop, mb.opts.Scheme))
+	}
+	b := &st.cur[i]
+	if nextGen {
+		b = &st.next[i]
+	}
+	appendRecord(&b.w, kind, dst, payload)
+	b.count++
+	mb.queued++
 	mb.opts.tapQueued(mb.p.Rank(), hop, dst, kind, payload)
 }
 
+//ygm:hotpath
 func (mb *SyncMailbox) deliver(payload []byte) {
 	if mb.opts.dropDelivery(mb.p.Rank(), payload) {
 		return
 	}
 	mb.stats.Delivered++
 	mb.p.Compute(mb.p.Model().ComputePerMessage)
+	if mb.opts.CopyOnDeliver {
+		c := make([]byte, len(payload)) //ygmvet:ignore allocinloop -- opt-in retain-safety copy; off on the default path
+		copy(c, payload)
+		payload = c
+	}
 	mb.handler(mb, payload)
 }
 
@@ -242,104 +334,115 @@ func (mb *SyncMailbox) deliver(payload []byte) {
 // wait for the next Exchange). The coupling of each phase to its slowest
 // participant is exactly what the asynchronous Mailbox avoids.
 func (mb *SyncMailbox) Exchange() {
-	for _, st := range mb.stages {
-		mb.runStage(st)
+	for s := range mb.stages {
+		mb.runStage(s)
+	}
+	mb.inStage = -1
+	// Promote next-generation buffers: records spawned too late for this
+	// Exchange ship on the following one.
+	for s := range mb.stages {
+		st := &mb.stages[s]
+		st.cur, st.next = st.next, st.cur
 	}
 }
 
-// runStage exchanges the queued records whose next hop matches the
-// stage's locality through one Alltoallv over the stage communicator.
-func (mb *SyncMailbox) runStage(st syncStage) {
-	topo := mb.p.Topo()
-	me := mb.p.Rank()
-	writers := make(map[machine.Rank]*codec.Writer)
-	var keep []syncRecord
+// runStage ships stage s's current-generation buffers through one pooled
+// Alltoallv over the stage communicator and dispatches what arrives.
+// Payloads travel as pool-recycled buffers (or, with ZeroCopyLocal, as
+// the coalescing buffers themselves for same-node members), so a
+// steady-state stage allocates nothing.
+//
+//ygm:hotpath
+func (mb *SyncMailbox) runStage(s int) {
+	mb.inStage = s
+	st := &mb.stages[s]
 	moved := 0
-	for _, rec := range mb.queue {
-		if !st.all && topo.SameNode(me, rec.hop) != st.local {
-			keep = append(keep, rec)
+	for i := range st.cur {
+		b := &st.cur[i]
+		if b.count == 0 {
+			st.payloads[i] = nil
 			continue
 		}
-		w := writers[rec.hop]
-		if w == nil {
-			w = &codec.Writer{}
-			writers[rec.hop] = w
+		moved += b.count
+		b.count = 0
+		if mb.opts.ZeroCopyLocal && b.local {
+			st.payloads[i] = b.w.Detach(mb.p.AcquireBuf(0))
+		} else {
+			payload := mb.p.AcquireBuf(b.w.Len())
+			copy(payload, b.w.Bytes())
+			b.w.Reset()
+			st.payloads[i] = payload
 		}
-		appendRecord(w, rec.kind, rec.dst, rec.payload)
-		moved++
 	}
-	mb.queue = keep
+	mb.queued -= moved
 	mb.stats.HopsSent += uint64(moved)
-
-	payloads := make([][]byte, st.comm.Size())
-	for i, r := range st.comm.Ranks() {
-		if w := writers[r]; w != nil {
-			payloads[i] = w.Bytes()
-			delete(writers, r)
-		}
-	}
-	if len(writers) > 0 {
-		panic("ygm: sync exchange record outside stage communicator")
-	}
 	if moved > 0 {
 		mb.stats.Flushes++
 	}
-	for src, blob := range st.comm.Alltoallv(payloads) {
-		if src == st.comm.Index() || len(blob) == 0 {
-			continue
-		}
-		r := codec.NewReader(blob)
-		for r.Remaining() > 0 {
-			rec, err := parseRecord(r)
-			if err != nil {
-				panic(fmt.Sprintf("ygm: corrupt sync exchange payload: %v", err))
-			}
-			mb.stats.HopsRecv++
-			mb.p.Compute(mb.p.Model().RecordHandlingTime(len(rec.payload)))
-			mb.dispatch(rec)
-		}
+	st.comm.AlltoallvPooled(st.payloads, st.scratch, &mb.sink)
+	for i := range st.payloads {
+		st.payloads[i] = nil
 	}
 }
 
-// dispatch delivers or requeues one received record.
+// syncDispatcher adapts SyncMailbox to collective.BlobSink. It is
+// embedded in the mailbox and referenced by pointer, so handing it to
+// AlltoallvPooled never allocates.
+type syncDispatcher struct{ mb *SyncMailbox }
+
+// VisitBlob parses and dispatches one member's exchange contribution.
+//
+//ygm:hotpath
+func (d *syncDispatcher) VisitBlob(srcIndex int, blob []byte) {
+	mb := d.mb
+	r := codec.NewReader(blob)
+	for r.Remaining() > 0 {
+		rec, err := parseRecord(r)
+		if err != nil {
+			panic(fmt.Sprintf("ygm: corrupt sync exchange payload: %v", err))
+		}
+		mb.stats.HopsRecv++
+		mb.p.Compute(mb.p.Model().RecordHandlingTime(len(rec.payload)))
+		mb.dispatch(rec)
+	}
+}
+
+// dispatch delivers or requeues one received record. Requeued payloads
+// are copied into the destination stage buffer by appendRecord itself,
+// so no intermediate per-record copy is needed.
+//
+//ygm:hotpath
 func (mb *SyncMailbox) dispatch(rec record) {
 	topo := mb.p.Topo()
 	me := mb.p.Rank()
-	detach := func(b []byte) []byte {
-		out := make([]byte, len(b))
-		copy(out, b)
-		return out
-	}
 	switch rec.kind {
 	case kindUnicast:
 		if rec.dst == me {
 			mb.deliver(rec.payload)
 			return
 		}
-		mb.push(mb.opts.nextHop(topo, me, rec.dst), kindUnicast, rec.dst, detach(rec.payload))
+		mb.push(mb.opts.nextHop(topo, me, rec.dst), kindUnicast, rec.dst, rec.payload)
 	case kindBcastDeliver:
 		mb.deliver(rec.payload)
 	case kindBcastLocalFanout:
 		mb.deliver(rec.payload)
-		payload := detach(rec.payload)
 		node, core := topo.Node(me), topo.Core(me)
 		for n := 0; n < topo.Nodes(); n++ {
 			if n != node {
-				mb.push(topo.RankOf(n, core), kindBcastDeliver, machine.Nil, payload)
+				mb.push(topo.RankOf(n, core), kindBcastDeliver, machine.Nil, rec.payload)
 			}
 		}
 	case kindBcastRemoteDistribute, kindBcastNLNRDistribute:
 		mb.deliver(rec.payload)
-		payload := detach(rec.payload)
 		node, core := topo.Node(me), topo.Core(me)
 		for c := 0; c < topo.Cores(); c++ {
 			if c != core {
-				mb.push(topo.RankOf(node, c), kindBcastDeliver, machine.Nil, payload)
+				mb.push(topo.RankOf(node, c), kindBcastDeliver, machine.Nil, rec.payload)
 			}
 		}
 	case kindBcastNLNRFanout:
 		mb.deliver(rec.payload)
-		mb.nlnrFanout(detach(rec.payload))
+		mb.nlnrFanout(rec.payload)
 	default:
 		panic(fmt.Sprintf("ygm: unknown record kind %d", rec.kind))
 	}
@@ -351,9 +454,18 @@ func (mb *SyncMailbox) ExchangeUntilQuiet() {
 	for {
 		mb.Exchange()
 		pending := mb.world.AllreduceU64(
-			[]uint64{uint64(len(mb.queue))}, collective.SumU64)[0]
+			[]uint64{uint64(mb.queued)}, collective.SumU64)[0]
 		if pending == 0 {
 			return
 		}
 	}
 }
+
+// WaitEmpty is ExchangeUntilQuiet under the Box interface name.
+func (mb *SyncMailbox) WaitEmpty() { mb.ExchangeUntilQuiet() }
+
+// TestEmpty is unsupported on the synchronous variant: its exchanges
+// are collective, so it cannot make unilateral nonblocking progress.
+func (mb *SyncMailbox) TestEmpty() (bool, error) { return false, ErrUnsupported }
+
+var _ Sender = (*SyncMailbox)(nil)
