@@ -6,6 +6,7 @@
 //	ygm-bench                              # every figure, quick preset
 //	ygm-bench -fig fig6a,fig8d -preset paper
 //	ygm-bench -fig fig7a -cores 8 -nodes 1,4,16,64
+//	ygm-bench -fig fig6a -trace out.json        # Perfetto timeline of the run
 //	ygm-bench -list
 //
 // Experiments report *simulated* seconds from the netsim cost model (one
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"ygm/internal/bench"
+	"ygm/internal/transport"
 )
 
 func main() {
@@ -44,12 +46,26 @@ func run(args []string) error {
 	benchJSON := fs.String("bench-json", "", "collect the regression baseline and write it to this path")
 	benchCompare := fs.String("bench-compare", "", "collect a fresh baseline and gate it against this committed file")
 	benchRounds := fs.Int("bench-rounds", 3, "micro-bench rounds per entry for -bench-json/-bench-compare (best kept)")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this path (open in ui.perfetto.dev)")
+	validateTrace := fs.String("validate-trace", "", "validate a trace file produced by -trace and exit (used by the CI trace smoke job)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *benchJSON != "" || *benchCompare != "" {
 		return runBaseline(*benchJSON, *benchCompare, *benchRounds)
+	}
+
+	if *validateTrace != "" {
+		data, err := os.ReadFile(*validateTrace)
+		if err != nil {
+			return err
+		}
+		if err := transport.ValidateChromeTrace(data); err != nil {
+			return err
+		}
+		fmt.Printf("# %s: valid Chrome trace (%d bytes)\n", *validateTrace, len(data))
+		return nil
 	}
 
 	if *list {
@@ -108,6 +124,11 @@ func run(args []string) error {
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown -format %q (have table, csv)", *format)
 	}
+	var tracer *transport.ChromeTracer
+	if *tracePath != "" {
+		tracer = transport.NewChromeTracer()
+		p.Trace = tracer
+	}
 	if *format == "table" {
 		fmt.Printf("# YGM reproduction benchmarks (preset=%s, cores/node=%d, mailbox=%d, seed=%d)\n",
 			p.Name, p.Cores, p.MailboxCap, p.Seed)
@@ -124,6 +145,20 @@ func run(args []string) error {
 		}
 		table.Print(os.Stdout)
 		fmt.Printf("(generated in %.1fs wall)\n\n", time.Since(start).Seconds())
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if _, err := tracer.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# wrote trace to %s (open in ui.perfetto.dev)\n", *tracePath)
 	}
 	return nil
 }

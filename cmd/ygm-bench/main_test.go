@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ygm/internal/transport"
+)
+
+// TestTraceFlagProducesValidChromeTrace is the acceptance test for the
+// -trace flag: a real figure run must yield a file that passes the
+// shared Chrome trace_event validator (i.e. loads in Perfetto).
+func TestTraceFlagProducesValidChromeTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full fig6a sweep")
+	}
+	out := filepath.Join(t.TempDir(), "out.json")
+	if err := run([]string{"-fig", "fig6a", "-preset", "quick", "-nodes", "1,2", "-trace", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("-trace output fails validation: %v", err)
+	}
+	// The CLI validator (what the CI smoke job invokes) must agree.
+	if err := run([]string{"-validate-trace", out}); err != nil {
+		t.Fatalf("-validate-trace rejected a trace -trace just wrote: %v", err)
+	}
+}
+
+// TestValidateTraceFlagRejectsGarbage: the CLI validator must fail on
+// non-trace input so the CI smoke job can actually catch regressions.
+func TestValidateTraceFlagRejectsGarbage(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate-trace", bad}); err == nil {
+		t.Fatal("empty traceEvents accepted")
+	}
+	if err := run([]string{"-validate-trace", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestTraceFlagRejectsUnwritablePath: a bad trace path must surface as
+// an error, not a silent no-trace run.
+func TestTraceFlagRejectsUnwritablePath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full fig6a sweep")
+	}
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.json")
+	if err := run([]string{"-fig", "fig6a", "-preset", "quick", "-nodes", "1", "-trace", bad}); err == nil {
+		t.Fatal("run succeeded despite unwritable -trace path")
+	}
+}

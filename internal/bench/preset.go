@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ygm/internal/netsim"
+	"ygm/internal/transport"
 )
 
 // Preset sizes an experiment sweep. The paper ran 36-core nodes up to
@@ -58,6 +59,12 @@ type Preset struct {
 
 	Seed  int64
 	Model netsim.Model
+
+	// Trace, when non-nil, is attached to every world the sweep runs
+	// (transport.Config.Trace). With a *transport.ChromeTracer this turns
+	// a figure run into a Perfetto-loadable timeline; see ygm-bench
+	// -trace.
+	Trace transport.Tracer
 }
 
 // Quick is the fast preset used by unit tests and testing.B benchmarks.

@@ -44,6 +44,7 @@ func runWorld(p Preset, nodes int, straggler func(machine.Rank) float64,
 		Model:        p.Model,
 		Seed:         p.Seed,
 		ComputeScale: straggler,
+		Trace:        p.Trace,
 	}, func(proc *transport.Proc) error {
 		return body(proc, ex)
 	})

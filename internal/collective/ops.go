@@ -37,6 +37,8 @@ var (
 // collectives impose: a rank leaves only after transitively hearing from
 // everyone, so the exit time is governed by the slowest entrant.
 func (c *Comm) Barrier() {
+	sp := c.p.Span("coll.barrier")
+	defer sp.End()
 	op := c.nextOp()
 	size := len(c.ranks)
 	round := 0
@@ -278,6 +280,8 @@ func (c *Comm) Scatterv(root int, payloads [][]byte) []byte {
 // exit time to the slowest sender — the behaviour Section III contrasts
 // with the asynchronous mailbox.
 func (c *Comm) Alltoallv(payloads [][]byte) [][]byte {
+	sp := c.p.Span("coll.alltoallv")
+	defer sp.End()
 	opSeq := c.nextOp()
 	size := len(c.ranks)
 	if len(payloads) != size {
@@ -318,6 +322,8 @@ type BlobSink interface {
 // scratch must hold at least Size() entries and is used as the packet
 // reorder table between receives and visits.
 func (c *Comm) AlltoallvPooled(payloads [][]byte, scratch []*transport.Packet, sink BlobSink) {
+	sp := c.p.Span("coll.alltoallv")
+	defer sp.End()
 	opSeq := c.nextOp()
 	size := len(c.ranks)
 	if len(payloads) != size {

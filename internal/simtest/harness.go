@@ -25,17 +25,27 @@ const testEmptySpinCap = 1 << 22
 // A nil return means the run completed and every delivery-semantics
 // property held; the error otherwise describes the violation (oracle
 // verdict, rank panic, or deadlock-watchdog dump).
-func RunCase(c Case) error {
+func RunCase(c Case) error { return RunCaseTraced(c, nil) }
+
+// RunCaseTraced is RunCase with an extra tracer riding alongside the
+// oracle — the observability layer's packet and span events mirror into
+// tr while the oracle still sees (and judges) every packet. Used by the
+// CI trace smoke job to prove trace export works on real fuzz traffic.
+func RunCaseTraced(c Case, tr transport.Tracer) error {
 	if err := c.validate(); err != nil {
 		return err
 	}
 	topo := c.Topo()
 	o := newOracle(topo, c.Scheme, c.Phases)
 	hooks := c.Mutant.hooks()
+	var trace transport.Tracer = o
+	if tr != nil {
+		trace = &teeTracer{a: o, b: tr}
+	}
 	cfg := transport.Config{
 		Topo:             topo,
 		Seed:             c.Seed,
-		Trace:            o,
+		Trace:            trace,
 		WatchdogInterval: watchdogInterval,
 	}
 	if c.Jitter {
@@ -48,6 +58,49 @@ func RunCase(c Case) error {
 		return err
 	}
 	return o.validate()
+}
+
+// teeTracer fans every Tracer callback out to two sinks and forwards
+// SpanObserver callbacks to whichever sinks implement the extension.
+// It always satisfies transport.SpanObserver so the runtime enables
+// span emission whenever either side wants it.
+type teeTracer struct{ a, b transport.Tracer }
+
+func (t *teeTracer) PacketSent(src, dst machine.Rank, tag transport.Tag, size int, sent, arrive float64) {
+	t.a.PacketSent(src, dst, tag, size, sent, arrive)
+	t.b.PacketSent(src, dst, tag, size, sent, arrive)
+}
+
+func (t *teeTracer) PacketReceived(src, dst machine.Rank, tag transport.Tag, size int, now float64) {
+	t.a.PacketReceived(src, dst, tag, size, now)
+	t.b.PacketReceived(src, dst, tag, size, now)
+}
+
+func (t *teeTracer) SpanBegin(rank machine.Rank, name string, at float64) {
+	if so, ok := t.a.(transport.SpanObserver); ok {
+		so.SpanBegin(rank, name, at)
+	}
+	if so, ok := t.b.(transport.SpanObserver); ok {
+		so.SpanBegin(rank, name, at)
+	}
+}
+
+func (t *teeTracer) SpanEnd(rank machine.Rank, name string, at float64) {
+	if so, ok := t.a.(transport.SpanObserver); ok {
+		so.SpanEnd(rank, name, at)
+	}
+	if so, ok := t.b.(transport.SpanObserver); ok {
+		so.SpanEnd(rank, name, at)
+	}
+}
+
+func (t *teeTracer) Mark(rank machine.Rank, name string, value uint64, at float64) {
+	if so, ok := t.a.(transport.SpanObserver); ok {
+		so.Mark(rank, name, value, at)
+	}
+	if so, ok := t.b.(transport.SpanObserver); ok {
+		so.Mark(rank, name, value, at)
+	}
 }
 
 // jitterDelay builds a seeded per-source delay injector: every packet

@@ -1,0 +1,43 @@
+package simtest
+
+import (
+	"bytes"
+	"testing"
+
+	"ygm/internal/transport"
+)
+
+// TestTraceSmoke runs fuzz workloads with a ChromeTracer teed alongside
+// the oracle and requires the exported timeline to pass the shared
+// trace_event validator. This is the test the CI trace smoke job runs:
+// it proves trace export holds up on real, schedule-perturbed traffic
+// (not just the curated unit-test worlds) while the delivery oracle
+// still checks every packet.
+func TestTraceSmoke(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		c := FromSeed(seed)
+		tr := transport.NewChromeTracer()
+		if err := RunCaseTraced(c, tr); err != nil {
+			t.Fatalf("case %s failed under tracing:\n%v", c, err)
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := transport.ValidateChromeTrace(buf.Bytes()); err != nil {
+			t.Fatalf("case %s emitted an invalid trace: %v", c, err)
+		}
+	}
+}
+
+// TestTraceDoesNotPerturbOracle: the same case must pass the oracle with
+// and without the tee in place — tracing is observation, not behavior.
+func TestTraceDoesNotPerturbOracle(t *testing.T) {
+	c := FromSeed(42)
+	if err := RunCase(c); err != nil {
+		t.Fatalf("untraced baseline failed: %v", err)
+	}
+	if err := RunCaseTraced(c, transport.NewChromeTracer()); err != nil {
+		t.Fatalf("traced run failed where untraced passed: %v", err)
+	}
+}

@@ -41,6 +41,11 @@ type Inbox struct {
 	seq       uint64
 	pops      uint64
 	depth     int
+	// wakeups counts pushes that found the owning rank parked and
+	// signalled it; suppressed counts pushes that skipped the signal
+	// because nobody was waiting. Their sum is the push count.
+	wakeups    uint64
+	suppressed uint64
 	// maxDepth tracks the high-water mark of queued packets, a proxy for
 	// the receive-side memory pressure the mailbox capacity bounds.
 	maxDepth int
@@ -61,7 +66,13 @@ func NewInbox() *Inbox {
 	return ib
 }
 
-// Push enqueues p and wakes any blocked receiver.
+// Push enqueues p and wakes the blocked receiver if one is parked. The
+// waiting flag is only ever set under ib.mu by WaitPop (which re-checks
+// the queue before parking), so observing it under the same lock here
+// makes the signal-elision safe: a receiver either sees this packet on
+// its pre-park check or has already published waiting=true. The owning
+// rank is the only cond waiter in normal operation, so Signal suffices;
+// poison keeps Broadcast for the shutdown path.
 func (ib *Inbox) Push(p *Packet) {
 	ib.mu.Lock()
 	p.seq = ib.seq
@@ -82,9 +93,17 @@ func (ib *Inbox) Push(p *Packet) {
 	if ib.depth > ib.maxDepth {
 		ib.maxDepth = ib.depth
 	}
+	wake := ib.waiting
+	if wake {
+		ib.wakeups++
+	} else {
+		ib.suppressed++
+	}
 	ib.verify(p.Tag)
 	ib.mu.Unlock()
-	ib.cond.Broadcast()
+	if wake {
+		ib.cond.Signal()
+	}
 }
 
 // WaitPop blocks until a packet with the given tag is present, then
@@ -220,4 +239,13 @@ func (ib *Inbox) MaxDepth() int {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	return ib.maxDepth
+}
+
+// WakeStats returns push accounting: how many pushes the inbox has seen,
+// how many signalled a parked receiver, and how many elided the signal
+// because nobody was waiting. pushes == wakeups + suppressed.
+func (ib *Inbox) WakeStats() (pushes, wakeups, suppressed uint64) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return ib.wakeups + ib.suppressed, ib.wakeups, ib.suppressed
 }

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"ygm/internal/machine"
+	"ygm/internal/netsim"
+	"ygm/internal/obs"
+)
+
+// captureStdio swaps os.Stdout and os.Stderr for pipes, runs fn, and
+// returns what was written to each. Test-only plumbing; not safe for
+// parallel tests.
+func captureStdio(t *testing.T, fn func()) (stdout, stderr string) {
+	t.Helper()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errR, errW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout, os.Stderr = outW, errW
+	outCh := make(chan string, 1)
+	errCh := make(chan string, 1)
+	go func() { var b bytes.Buffer; io.Copy(&b, outR); outCh <- b.String() }()
+	go func() { var b bytes.Buffer; io.Copy(&b, errR); errCh <- b.String() }()
+	defer func() {
+		os.Stdout, os.Stderr = oldOut, oldErr
+	}()
+	fn()
+	outW.Close()
+	errW.Close()
+	return <-outCh, <-errCh
+}
+
+// TestTraceJumpsGoesToStderr is the regression test for the absorb
+// tracing bug: the JUMP debug line used to go to stdout, which carries
+// machine-read bench output. With traceJumps enabled and a >50us
+// arrival wait, the line must appear on stderr and stdout must stay
+// clean.
+func TestTraceJumpsGoesToStderr(t *testing.T) {
+	old := traceJumps
+	traceJumps = true
+	defer func() { traceJumps = old }()
+
+	// 1 MiB across the wire: ~15us rendezvous + ~95us at 11 GB/s, far
+	// past the 50us jump threshold for a receiver still at virtual zero.
+	payload := make([]byte, 1<<20)
+	stdout, stderr := captureStdio(t, func() {
+		_, err := Run(Config{
+			Topo:  machine.New(2, 1), // two nodes: the transfer is remote
+			Model: netsim.Quartz(),
+			Seed:  5,
+		}, func(p *Proc) error {
+			if p.Rank() == 0 {
+				p.Send(1, TagUser, payload)
+				return nil
+			}
+			pkt := p.Recv(TagUser)
+			p.Recycle(pkt)
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(stderr, "JUMP rank=1") {
+		t.Fatalf("expected JUMP trace on stderr, got %q", stderr)
+	}
+	if strings.Contains(stdout, "JUMP") {
+		t.Fatalf("JUMP trace leaked to stdout: %q", stdout)
+	}
+	if stdout != "" {
+		t.Fatalf("stdout not clean under traceJumps: %q", stdout)
+	}
+}
+
+// TestTraceJumpsRecordedInFlightRecorder checks the always-on half of
+// the fix: even with traceJumps disabled (the default), a large arrival
+// wait leaves a KJump event in the rank's flight recorder.
+func TestTraceJumpsRecordedInFlightRecorder(t *testing.T) {
+	payload := make([]byte, 1<<20)
+	sawJump := false
+	_, err := Run(Config{
+		Topo:  machine.New(2, 1),
+		Model: netsim.Quartz(),
+		Seed:  5,
+	}, func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(1, TagUser, payload)
+			return nil
+		}
+		pkt := p.Recv(TagUser)
+		p.Recycle(pkt)
+		for _, ev := range p.FlightRecorder().Snapshot() {
+			if ev.Kind == obs.KJump {
+				sawJump = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawJump {
+		t.Fatal("no jump event in flight recorder after a >50us arrival wait")
+	}
+}

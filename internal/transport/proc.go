@@ -3,9 +3,11 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"ygm/internal/machine"
 	"ygm/internal/netsim"
+	"ygm/internal/obs"
 )
 
 // traceJumps enables stderr tracing of large arrival waits (debug).
@@ -43,6 +45,18 @@ type Proc struct {
 	// overtake an earlier one on the same channel, or they would violate
 	// the MPI non-overtaking guarantee the upper layers rely on.
 	lastArrive map[chanKey]float64
+
+	// metrics is this rank's named-metric registry; szLocal/szRemote are
+	// its message-size histograms, resolved once at construction so the
+	// send path never touches the name maps.
+	metrics  *obs.Registry
+	szLocal  *obs.Histogram
+	szRemote *obs.Histogram
+
+	// rec is this rank's flight recorder — a ring of recent events
+	// dumped by deadlock and panic paths. Nil when disabled via
+	// Config.FlightRecorder.
+	rec *obs.Recorder
 }
 
 // chanKey identifies one ordered (destination, tag) channel.
@@ -154,6 +168,11 @@ func (p *Proc) send(dst machine.Rank, tag Tag, payload []byte, pooled bool) {
 		}
 	}
 	p.stats.recordSend(dst, tag, len(payload), local, w.trackPartners)
+	if local {
+		p.szLocal.Observe(uint64(len(payload)))
+	} else {
+		p.szRemote.Observe(uint64(len(payload)))
+	}
 	arrive := p.clock.Now() + transfer
 	if w.delay != nil {
 		// Clamp so injected delay never reorders a channel.
@@ -173,6 +192,9 @@ func (p *Proc) send(dst machine.Rank, tag Tag, payload []byte, pooled bool) {
 	pkt.Payload = payload
 	pkt.pooled = pooled
 	w.inboxes[dst].Push(pkt)
+	if p.rec != nil {
+		p.rec.Record(obs.Event{Kind: obs.KSend, T: p.clock.Now(), Peer: int32(dst), Tag: uint64(tag), Size: int64(len(payload))})
+	}
 	if w.trace != nil {
 		w.trace.PacketSent(p.rank, dst, tag, len(payload), p.clock.Now(), arrive)
 	}
@@ -243,9 +265,17 @@ func (p *Proc) Pending(tag Tag) int {
 
 // absorb applies arrival wait and receive overhead accounting for pkt.
 func (p *Proc) absorb(pkt *Packet) {
-	if traceJumps && pkt.Arrive-p.clock.Now() > 50e-6 {
-		fmt.Printf("JUMP rank=%d src=%d tag=%x now=%.3fms arrive=%.3fms size=%d\n",
-			p.rank, pkt.Src, pkt.Tag, p.clock.Now()*1e3, pkt.Arrive*1e3, len(pkt.Payload))
+	if jump := pkt.Arrive - p.clock.Now(); jump > 50e-6 {
+		// Large arrival waits go to the flight recorder always and, when
+		// traceJumps debugging is enabled, to stderr — never stdout,
+		// which carries machine-read bench output.
+		if p.rec != nil {
+			p.rec.Record(obs.Event{Kind: obs.KJump, T: p.clock.Now(), Peer: int32(pkt.Src), Tag: uint64(pkt.Tag), Size: int64(len(pkt.Payload))})
+		}
+		if traceJumps {
+			fmt.Fprintf(os.Stderr, "JUMP rank=%d src=%d tag=%x now=%.3fms arrive=%.3fms size=%d\n",
+				p.rank, pkt.Src, pkt.Tag, p.clock.Now()*1e3, pkt.Arrive*1e3, len(pkt.Payload))
+		}
 	}
 	if d := pkt.Arrive - p.clock.Now(); d > p.jumpD {
 		p.jumpD = d
@@ -256,6 +286,9 @@ func (p *Proc) absorb(pkt *Packet) {
 	p.clock.WaitUntil(pkt.Arrive)
 	p.clock.Advance(p.world.model.RecvOverheadFor(p.world.topo.SameNode(p.rank, pkt.Src)))
 	p.stats.RecvMsgs++
+	if p.rec != nil {
+		p.rec.Record(obs.Event{Kind: obs.KRecv, T: p.clock.Now(), Peer: int32(pkt.Src), Tag: uint64(pkt.Tag), Size: int64(len(pkt.Payload))})
+	}
 	p.checkClockMonotone()
 	if p.world.trace != nil {
 		p.world.trace.PacketReceived(pkt.Src, p.rank, pkt.Tag, len(pkt.Payload), p.clock.Now())
@@ -270,3 +303,63 @@ func (p *Proc) BigJump() (src machine.Rank, tag Tag, arrive, d float64) {
 
 // Clock exposes the rank's virtual clock for report assembly.
 func (p *Proc) Clock() *netsim.Clock { return &p.clock }
+
+// Metrics returns this rank's named-metric registry. Layers resolve
+// their counters/gauges/histograms once at construction and update the
+// returned pointers directly; the registry is confined to the rank's
+// goroutine. Each rank's snapshot lands in RankReport.Metrics, and
+// Report.Metrics merges them.
+func (p *Proc) Metrics() *obs.Registry { return p.metrics }
+
+// FlightRecorder returns this rank's event ring, or nil when disabled
+// via Config.FlightRecorder. Upper layers may Record their own events;
+// deadlock and panic dumps include the ring's recent contents.
+func (p *Proc) FlightRecorder() *obs.Recorder { return p.rec }
+
+// Span is an open virtual-time interval on one rank, returned by
+// Proc.Span and closed by End. It is a small value type so that span
+// bracketing on instrumented paths allocates nothing.
+type Span struct {
+	p    *Proc
+	name string
+}
+
+// Span begins a named phase span at the rank's current virtual time,
+// forwarded to the Config.Trace value when that implements SpanObserver.
+// Without one it returns an inert Span whose End is a no-op: span
+// bracketing sits on polling-hot paths (e.g. the lazy drain loop), so
+// the untraced cost must be a single nil check. Spans deliberately do
+// NOT enter the flight recorder — per-poll span brackets would evict
+// the send/receive history that makes deadlock and panic dumps useful.
+func (p *Proc) Span(name string) Span {
+	so := p.world.spanObs
+	if so == nil {
+		return Span{}
+	}
+	so.SpanBegin(p.rank, name, p.clock.Now())
+	return Span{p: p, name: name}
+}
+
+// End closes the span at the rank's current virtual time.
+func (s Span) End() {
+	if s.p == nil {
+		return
+	}
+	s.p.world.spanObs.SpanEnd(s.p.rank, s.name, s.p.clock.Now())
+}
+
+// Mark records a labelled instant with an event-specific value (e.g. a
+// termination generation number) in the flight recorder and, when the
+// tracer observes spans, in the trace.
+func (p *Proc) Mark(name string, value uint64) {
+	if p.rec == nil && p.world.spanObs == nil {
+		return
+	}
+	now := p.clock.Now()
+	if p.rec != nil {
+		p.rec.Record(obs.Event{Kind: obs.KMark, T: now, Peer: -1, Tag: value, Name: name})
+	}
+	if so := p.world.spanObs; so != nil {
+		so.Mark(p.rank, name, value, now)
+	}
+}

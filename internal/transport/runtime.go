@@ -11,6 +11,7 @@ import (
 
 	"ygm/internal/machine"
 	"ygm/internal/netsim"
+	"ygm/internal/obs"
 )
 
 // Config describes one SPMD run.
@@ -42,6 +43,11 @@ type Config struct {
 	// Delay, when non-nil, adds extra virtual flight time to each packet
 	// (fault injection for schedule exploration); see DelayFn.
 	Delay DelayFn
+	// FlightRecorder sizes each rank's ring of recent events (sends,
+	// receives, arrival jumps, spans, marks) that deadlock and panic
+	// dumps include. Zero selects obs.DefaultRecorderSize; a negative
+	// value disables the recorder entirely.
+	FlightRecorder int
 }
 
 // World holds the shared state of a run: one inbox per rank plus the
@@ -52,7 +58,10 @@ type World struct {
 	inboxes       []*Inbox
 	trackPartners bool
 	trace         Tracer
-	delay         DelayFn
+	// spanObs is Config.Trace's SpanObserver side, type-asserted once at
+	// Run so the per-span check is a nil compare, not an assertion.
+	spanObs SpanObserver
+	delay   DelayFn
 
 	// pool recycles packet structs and pooled payload buffers; see
 	// bufPool for the ownership protocol.
@@ -83,6 +92,9 @@ type RankReport struct {
 	Stats Stats
 	// MaxInboxDepth is the high-water mark of this rank's receive queue.
 	MaxInboxDepth int
+	// Metrics is the rank's named-metric snapshot, taken as the rank's
+	// goroutine unwinds; Report.Metrics merges all ranks' snapshots.
+	Metrics obs.Snapshot
 }
 
 // Report aggregates a run.
@@ -134,6 +146,17 @@ func (r *Report) Utilization() float64 {
 	return busy / (ms * float64(len(r.Ranks)))
 }
 
+// Metrics merges every rank's named-metric snapshot into one run-wide
+// view: counters and histogram buckets add, gauges keep the largest
+// high-water mark.
+func (r *Report) Metrics() obs.Snapshot {
+	snaps := make([]obs.Snapshot, len(r.Ranks))
+	for i := range r.Ranks {
+		snaps[i] = r.Ranks[i].Metrics
+	}
+	return obs.MergeSnapshots(snaps...)
+}
+
 // MaxInboxDepth returns the largest receive-queue depth any rank saw.
 func (r *Report) MaxInboxDepth() int {
 	max := 0
@@ -170,6 +193,9 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 		trace:         cfg.Trace,
 		delay:         cfg.Delay,
 	}
+	if so, ok := cfg.Trace.(SpanObserver); ok {
+		w.spanObs = so
+	}
 	for i := range w.inboxes {
 		w.inboxes[i] = NewInbox()
 	}
@@ -198,6 +224,12 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 				rank:         r,
 				rng:          rand.New(rand.NewSource(cfg.Seed*1000003 + int64(r))),
 				computeScale: 1,
+				metrics:      obs.NewRegistry(),
+			}
+			p.szLocal = p.metrics.Histogram("transport.msg_size.local")
+			p.szRemote = p.metrics.Histogram("transport.msg_size.remote")
+			if cfg.FlightRecorder >= 0 {
+				p.rec = obs.NewRecorder(cfg.FlightRecorder)
 			}
 			if cfg.ComputeScale != nil {
 				if s := cfg.ComputeScale(r); s > 0 {
@@ -218,10 +250,21 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 						// on its messages); surface the cause immediately
 						// rather than only after every goroutine unwinds.
 						fmt.Fprintf(os.Stderr, "transport: rank %d died: %v\n", r, rec)
+						if p.rec != nil {
+							if evs := p.rec.Snapshot(); len(evs) > 0 {
+								fmt.Fprintf(os.Stderr, "transport: rank %d recent events:\n%s",
+									r, obs.FormatEvents(evs, "  "))
+							}
+						}
 					}
 				} else if errs[r] != nil {
 					w.failed.Store(true)
 				}
+				pushes, wakeups, suppressed := w.inboxes[r].WakeStats()
+				p.metrics.Counter("inbox.pushes").Add(pushes)
+				p.metrics.Counter("inbox.wakeups").Add(wakeups)
+				p.metrics.Counter("inbox.wakeups_suppressed").Add(suppressed)
+				p.metrics.Gauge("inbox.max_depth").Set(float64(w.inboxes[r].MaxDepth()))
 				report.Ranks[r] = RankReport{
 					Rank:          r,
 					Time:          p.clock.Now(),
@@ -229,6 +272,7 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 					Wait:          p.clock.Wait(),
 					Stats:         p.stats,
 					MaxInboxDepth: w.inboxes[r].MaxDepth(),
+					Metrics:       p.metrics.Snapshot(),
 				}
 			}()
 			errs[r] = body(p)

@@ -22,6 +22,26 @@ type Tracer interface {
 	PacketReceived(src, dst machine.Rank, tag Tag, size int, now float64)
 }
 
+// SpanObserver is the optional extension of Tracer for the observability
+// layer: a Tracer that also implements it receives virtual-time span
+// boundaries and instant marks from every rank. Run type-asserts the
+// Config.Trace value once; plain Tracers (the fuzz oracle) keep working
+// unchanged, and the nil-Trace fast path is untouched.
+//
+// All methods fire on the goroutine of the rank named by their first
+// argument, so implementations shared across ranks must lock.
+type SpanObserver interface {
+	// SpanBegin / SpanEnd bracket a named phase on one rank. Names are
+	// drawn from a small fixed taxonomy (see DESIGN.md §9) and spans on
+	// one rank nest properly: the most recently begun open span ends
+	// first.
+	SpanBegin(rank machine.Rank, name string, t float64)
+	SpanEnd(rank machine.Rank, name string, t float64)
+	// Mark records a labelled instant on one rank (termination
+	// generation starts, flush causes), with an event-specific value.
+	Mark(rank machine.Rank, name string, value uint64, t float64)
+}
+
 // DelayFn perturbs one packet's virtual flight time: the returned value
 // (clamped to >= 0) is added to the model transfer time before the
 // arrival timestamp is computed. It runs on the sender's goroutine, so

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ygm/internal/machine"
+	"ygm/internal/obs"
 )
 
 // defaultWatchdogInterval is the polling cadence of the deadlock
@@ -21,6 +22,10 @@ type RankDeadState struct {
 	Clock      float64 // virtual time at which the rank blocked
 	InboxDepth int     // packets physically queued (other tags included)
 	BlockedTag Tag     // the tag the rank was blocked receiving
+	// Recent holds the rank's flight-recorder contents (oldest first) —
+	// what the rank was doing before it blocked, not just its final
+	// state. Empty when the recorder was disabled.
+	Recent []obs.Event
 }
 
 // DeadlockError reports that the deadlock watchdog found every active
@@ -44,6 +49,10 @@ func (e *DeadlockError) Error() string {
 	for _, s := range e.Blocked {
 		fmt.Fprintf(&b, "\n  rank %d: blocked on tag %#x, clock %.6fs, inbox depth %d",
 			s.Rank, uint64(s.BlockedTag), s.Clock, s.InboxDepth)
+		if len(s.Recent) > 0 {
+			fmt.Fprintf(&b, "\n    last %d events:\n%s", len(s.Recent),
+				strings.TrimRight(obs.FormatEvents(s.Recent, "      "), "\n"))
+		}
 	}
 	if len(e.Finished) > 0 {
 		parts := make([]string, len(e.Finished))
@@ -76,11 +85,16 @@ func (p *Proc) AbortIfPeerFailed() {
 // unwinds the rank. Called from Recv when its inbox has been poisoned.
 func (p *Proc) deadlockExit(tag Tag) {
 	w := p.world
+	var recent []obs.Event
+	if p.rec != nil {
+		recent = p.rec.Snapshot()
+	}
 	w.dead[p.rank] = &RankDeadState{
 		Rank:       p.rank,
 		Clock:      p.clock.Now(),
 		InboxDepth: w.inboxes[p.rank].Len(),
 		BlockedTag: tag,
+		Recent:     recent,
 	}
 	panic(rankDeadlocked{})
 }

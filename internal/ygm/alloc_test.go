@@ -178,6 +178,47 @@ func TestSyncSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestTermSteadyStateZeroAlloc pins the termination-detection path: a
+// WaitEmpty on a quiet mailbox runs whole detection generations —
+// contribution encode into the detector's scratch writer, pooled send up
+// the binomial tree, verdict relay down, absorb-and-recycle on both
+// ranks — and none of it may allocate once the scratch writer and the
+// transport pool have warmed up.
+func TestTermSteadyStateZeroAlloc(t *testing.T) {
+	skipIfYgmcheck(t)
+	var failure error
+	_, err := transport.Run(transport.Config{
+		Topo:  machine.New(1, 2),
+		Model: netsim.Quartz(),
+		Seed:  7,
+	}, func(p *transport.Proc) error {
+		mb := New(p, func(s Sender, payload []byte) {},
+			WithScheme(machine.NoRoute),
+			WithExchange(LazyExchange)).(*Mailbox)
+		termOnce := func() { mb.WaitEmpty() }
+		if p.Rank() == 0 {
+			for i := 0; i < allocWarmup; i++ {
+				termOnce()
+			}
+			if avg := testing.AllocsPerRun(allocRuns, termOnce); avg != 0 {
+				failure = fmt.Errorf("termination detection allocates %.1f allocs/op, want 0", avg)
+			}
+		} else {
+			for i := 0; i < allocWarmup+allocRuns+1; i++ {
+				termOnce()
+			}
+		}
+		mb.WaitEmpty()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failure != nil {
+		t.Fatal(failure)
+	}
+}
+
 // TestSelfDeliverZeroAlloc pins synchronous self-delivery: no transport,
 // no coalescing — just the handler invocation, which must not allocate.
 func TestSelfDeliverZeroAlloc(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 
 	"ygm/internal/codec"
 	"ygm/internal/machine"
+	"ygm/internal/obs"
 	"ygm/internal/transport"
 )
 
@@ -214,6 +215,15 @@ type Mailbox struct {
 	// nest packet processing before the watchdog catches it).
 	processing int
 
+	// Flush-cause counters, resolved once from the rank's metric
+	// registry: what drove each communication context — capacity
+	// overflow on the send path, forward overflow while dispatching,
+	// the pre-termination drain, or an explicit Flush call.
+	cFlushCapacity *obs.Counter
+	cFlushForward  *obs.Counter
+	cFlushDrain    *obs.Counter
+	cFlushExplicit *obs.Counter
+
 	term termDetector
 }
 
@@ -230,6 +240,11 @@ func newLazy(p *transport.Proc, handler Handler, opts Options) *Mailbox {
 	topo := p.Topo()
 	mb.router = topo.NewRouter(mb.opts.Scheme, p.Rank())
 	mb.slots.init(topo, p.Rank(), mb.opts.hopUniverse(topo, p.Rank()))
+	m := p.Metrics()
+	mb.cFlushCapacity = m.Counter("ygm.flush.capacity")
+	mb.cFlushForward = m.Counter("ygm.flush.forward")
+	mb.cFlushDrain = m.Counter("ygm.flush.drain")
+	mb.cFlushExplicit = m.Counter("ygm.flush.explicit")
 	mb.term.init(p, &mb.stats)
 	mb.term.hooks = mb.opts.Hooks
 	return mb
@@ -378,6 +393,7 @@ func (mb *Mailbox) afterQueue() {
 		return
 	}
 	if mb.queued >= mb.opts.Capacity {
+		mb.cFlushCapacity.Inc()
 		mb.enterCommContext()
 		return
 	}
@@ -393,6 +409,7 @@ func (mb *Mailbox) afterQueue() {
 // buffers, then process every message that has (virtually) arrived —
 // which may enqueue forwards, which are flushed in turn.
 func (mb *Mailbox) enterCommContext() {
+	sp := mb.p.Span("lazy.commctx")
 	mb.flushAll()
 	for mb.pollOnce() {
 		if mb.queued >= mb.opts.Capacity {
@@ -400,6 +417,7 @@ func (mb *Mailbox) enterCommContext() {
 		}
 	}
 	mb.flushAll()
+	sp.End()
 }
 
 // pollOnce processes at most one arrived data packet without waiting.
@@ -467,6 +485,7 @@ func (mb *Mailbox) processPacket(pkt *transport.Packet) {
 	// returned, so nothing aliases the packet buffer any more.
 	mb.p.Recycle(pkt)
 	if mb.queued >= mb.opts.Capacity {
+		mb.cFlushForward.Inc()
 		mb.flushAll()
 	}
 }
@@ -538,6 +557,9 @@ func (mb *Mailbox) deliver(payload []byte) {
 // to absorb first (which would serialize ranks into a virtual-time
 // ratchet).
 func (mb *Mailbox) drainAvailable() {
+	sp := mb.p.Span("lazy.drain")
+	defer sp.End()
+	mb.cFlushDrain.Inc()
 	mb.flushAll()
 	if mb.processing > 0 {
 		// A handler illegally re-entered the termination path (the
@@ -578,6 +600,8 @@ func (mb *Mailbox) drainWaves(scratch *[]*transport.Packet) {
 // and all ranks return during the same detection generation. The mailbox
 // remains usable afterwards.
 func (mb *Mailbox) WaitEmpty() {
+	sp := mb.p.Span("lazy.waitempty")
+	defer sp.End()
 	for {
 		mb.drainAvailable()
 		if mb.term.step(true) {
@@ -611,7 +635,10 @@ func (mb *Mailbox) PendingSends() int { return mb.queued }
 
 // Flush forces the communication context to run even if the mailbox is
 // below capacity (exposed for tests and latency-sensitive callers).
-func (mb *Mailbox) Flush() { mb.enterCommContext() }
+func (mb *Mailbox) Flush() {
+	mb.cFlushExplicit.Inc()
+	mb.enterCommContext()
+}
 
 // sortedHops returns the hop ranks currently holding queued records, in
 // ascending order (test helper).

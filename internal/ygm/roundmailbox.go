@@ -2,6 +2,7 @@ package ygm
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 
 	"ygm/internal/codec"
@@ -9,8 +10,20 @@ import (
 	"ygm/internal/transport"
 )
 
-// roundTrace enables debug tracing of exchange rounds.
+// roundTrace enables stderr tracing of exchange rounds (debug).
 var roundTrace = false
+
+// stageSpanNames keeps exchange-stage span names as constants — span
+// bracketing must not format strings on the hot path. Three entries
+// cover every scheme (NLNR has the most stages).
+var stageSpanNames = [...]string{"stage0", "stage1", "stage2"}
+
+func stageSpanName(s int) string {
+	if s < len(stageSpanNames) {
+		return stageSpanNames[s]
+	}
+	return "stageN"
+}
 
 // TagRound is the base transport tag of round-matched exchange traffic
 // (mirrored as transport.TagRound for traffic classification); the
@@ -306,15 +319,17 @@ func (mb *RoundMailbox) maybeRound() {
 func (mb *RoundMailbox) executeRound() {
 	r := mb.round
 	mb.round++
+	rsp := mb.p.Span("round.exchange")
 	if roundTrace {
-		fmt.Printf("ROUND rank=%d begin r=%d queued=%d\n", mb.p.Rank(), r, mb.queued)
+		fmt.Fprintf(os.Stderr, "ROUND rank=%d begin r=%d queued=%d\n", mb.p.Rank(), r, mb.queued)
 	}
 	sentAny := false
 	for s := range mb.stages {
 		mb.inRoundStage = s
 		if roundTrace {
-			fmt.Printf("ROUND rank=%d r=%d stage=%d\n", mb.p.Rank(), r, s)
+			fmt.Fprintf(os.Stderr, "ROUND rank=%d r=%d stage=%d\n", mb.p.Rank(), r, s)
 		}
+		ssp := mb.p.Span(stageSpanName(s))
 		st := &mb.stages[s]
 		tag := roundTag(mb.epoch, s, r)
 		for i := range st.cur {
@@ -344,10 +359,12 @@ func (mb *RoundMailbox) executeRound() {
 			}
 			mb.p.Recycle(pkt)
 		}
+		ssp.End()
 	}
 	mb.inRoundStage = -1
+	rsp.End()
 	if roundTrace {
-		fmt.Printf("ROUND rank=%d end r=%d queued=%d\n", mb.p.Rank(), r, mb.queued)
+		fmt.Fprintf(os.Stderr, "ROUND rank=%d end r=%d queued=%d\n", mb.p.Rank(), r, mb.queued)
 	}
 	// Promote next-round buffers.
 	for s := range mb.stages {
@@ -432,6 +449,8 @@ func (mb *RoundMailbox) roundTrafficPending() bool {
 // consensus observes global quiescence. Collective: every rank must call
 // it, and all return together. The mailbox is reusable afterwards.
 func (mb *RoundMailbox) WaitEmpty() {
+	sp := mb.p.Span("round.waitempty")
+	defer sp.End()
 	for {
 		for mb.queued > 0 || mb.roundTrafficPending() {
 			mb.executeRound()

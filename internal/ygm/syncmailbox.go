@@ -334,6 +334,8 @@ func (mb *SyncMailbox) deliver(payload []byte) {
 // wait for the next Exchange). The coupling of each phase to its slowest
 // participant is exactly what the asynchronous Mailbox avoids.
 func (mb *SyncMailbox) Exchange() {
+	sp := mb.p.Span("sync.exchange")
+	defer sp.End()
 	for s := range mb.stages {
 		mb.runStage(s)
 	}
@@ -354,6 +356,8 @@ func (mb *SyncMailbox) Exchange() {
 //
 //ygm:hotpath
 func (mb *SyncMailbox) runStage(s int) {
+	sp := mb.p.Span(stageSpanName(s))
+	defer sp.End()
 	mb.inStage = s
 	st := &mb.stages[s]
 	moved := 0

@@ -5,6 +5,7 @@ import (
 
 	"ygm/internal/codec"
 	"ygm/internal/machine"
+	"ygm/internal/obs"
 	"ygm/internal/transport"
 )
 
@@ -47,6 +48,15 @@ type termDetector struct {
 	// ahead of this rank's progress through their generation.
 	pendingContrib map[uint64][][2]uint64
 	pendingVerdict map[uint64]bool
+
+	// scratch is the reusable encoder for outgoing termination packets.
+	// Encoded bytes are copied into pooled payload buffers before
+	// sending (payload ownership transfers on Send), so one scratch
+	// writer serves every generation without per-send allocation.
+	scratch codec.Writer
+
+	// gens mirrors Stats.Generations into the rank's metric registry.
+	gens *obs.Counter
 }
 
 type termPhase int
@@ -74,6 +84,7 @@ func (td *termDetector) init(p *transport.Proc, stats *Stats) {
 	}
 	td.pendingContrib = make(map[uint64][][2]uint64)
 	td.pendingVerdict = make(map[uint64]bool)
+	td.gens = p.Metrics().Counter("term.generations")
 	td.startGeneration()
 }
 
@@ -88,10 +99,26 @@ func (td *termDetector) reset() {
 func (td *termDetector) startGeneration() {
 	td.gen++
 	td.stats.Generations++
+	td.gens.Inc()
+	td.p.Mark("term.gen", td.gen)
 	td.phase = termCollect
 	td.got = 0
 	td.accS = 0
 	td.accR = 0
+	// Generations are adopted only by exact match against td.gen, and
+	// td.gen is monotonic across cycles, so buffered state for older
+	// generations is dead — it accumulates across WaitEmpty cycles (e.g.
+	// after forced verdicts or peer-failure unwinds) unless purged here.
+	for g := range td.pendingContrib {
+		if g < td.gen {
+			delete(td.pendingContrib, g)
+		}
+	}
+	for g := range td.pendingVerdict {
+		if g < td.gen {
+			delete(td.pendingVerdict, g)
+		}
+	}
 	// Adopt any contributions that raced ahead of us.
 	if early, ok := td.pendingContrib[td.gen]; ok {
 		for _, c := range early {
@@ -132,12 +159,14 @@ func (td *termDetector) step(block bool) bool {
 				td.startGeneration()
 				return false
 			}
-			w := codec.NewWriter(32)
-			w.Byte(0) // contribution
-			w.Uvarint(td.gen)
-			w.Uvarint(td.accS)
-			w.Uvarint(td.accR)
-			td.p.Send(machine.Rank(td.parent), TagTerm, w.Bytes())
+			td.scratch.Reset()
+			td.scratch.Byte(0) // contribution
+			td.scratch.Uvarint(td.gen)
+			td.scratch.Uvarint(td.accS)
+			td.scratch.Uvarint(td.accR)
+			buf := td.p.AcquireBuf(td.scratch.Len())
+			copy(buf, td.scratch.Bytes())
+			td.p.SendPooled(machine.Rank(td.parent), TagTerm, buf)
 			td.phase = termAwaitVerdict
 		case termAwaitVerdict:
 			if done, ok := td.pendingVerdict[td.gen]; ok {
@@ -172,18 +201,24 @@ func (td *termDetector) verdict() bool {
 }
 
 // relayVerdict forwards the verdict for the current generation down the
-// binomial broadcast tree.
+// binomial broadcast tree: encoded once into the scratch writer, copied
+// into a pooled payload per child.
 func (td *termDetector) relayVerdict(done bool) {
+	if len(td.children) == 0 {
+		return
+	}
+	td.scratch.Reset()
+	td.scratch.Byte(1) // verdict
+	td.scratch.Uvarint(td.gen)
+	flag := byte(0)
+	if done {
+		flag = 1
+	}
+	td.scratch.Byte(flag)
 	for _, child := range td.children {
-		w := codec.NewWriter(16)
-		w.Byte(1) // verdict
-		w.Uvarint(td.gen)
-		flag := byte(0)
-		if done {
-			flag = 1
-		}
-		w.Byte(flag)
-		td.p.Send(machine.Rank(child), TagTerm, w.Bytes())
+		buf := td.p.AcquireBuf(td.scratch.Len())
+		copy(buf, td.scratch.Bytes())
+		td.p.SendPooled(machine.Rank(child), TagTerm, buf)
 	}
 }
 
@@ -229,5 +264,8 @@ func (td *termDetector) absorb(block bool) bool {
 	default:
 		panic(fmt.Sprintf("ygm: unknown termination packet type %d", typ))
 	}
+	// Every field has been decoded into detector state; the pooled
+	// payload can go back to the transport pool.
+	td.p.Recycle(pkt)
 	return true
 }

@@ -1,0 +1,100 @@
+package ygm
+
+import (
+	"fmt"
+	"testing"
+
+	"ygm/internal/machine"
+	"ygm/internal/netsim"
+	"ygm/internal/transport"
+)
+
+// TestTermPurgesStalePending is the regression test for the pending-map
+// leak: buffered contributions/verdicts whose generation is already
+// behind the detector can never be adopted (adoption matches td.gen
+// exactly and gen is monotonic), so startGeneration must drop them.
+// Future-generation entries must survive the purge.
+func TestTermPurgesStalePending(t *testing.T) {
+	_, err := transport.Run(transport.Config{
+		Topo:  machine.New(1, 1),
+		Model: netsim.Quartz(),
+		Seed:  1,
+	}, func(p *transport.Proc) error {
+		mb := New(p, func(s Sender, payload []byte) {},
+			WithExchange(LazyExchange)).(*Mailbox)
+		td := &mb.term
+		// Simulate buffered traffic: stale generations below td.gen, plus
+		// entries for the next two generations that must be preserved.
+		for g := uint64(0); g < td.gen; g++ {
+			td.pendingContrib[g] = [][2]uint64{{1, 1}}
+			td.pendingVerdict[g] = false
+		}
+		futureC := td.gen + 2
+		futureV := td.gen + 3
+		td.pendingContrib[futureC] = [][2]uint64{{2, 2}}
+		td.pendingVerdict[futureV] = true
+
+		td.startGeneration() // td.gen advances by one; stale gens purged
+
+		for g := range td.pendingContrib {
+			if g < td.gen {
+				return fmt.Errorf("stale contribution for gen %d survived purge (gen now %d)", g, td.gen)
+			}
+		}
+		for g := range td.pendingVerdict {
+			if g < td.gen {
+				return fmt.Errorf("stale verdict for gen %d survived purge (gen now %d)", g, td.gen)
+			}
+		}
+		if _, ok := td.pendingContrib[futureC]; !ok {
+			return fmt.Errorf("future contribution (gen %d) dropped by purge", futureC)
+		}
+		if v, ok := td.pendingVerdict[futureV]; !ok || !v {
+			return fmt.Errorf("future verdict (gen %d) dropped by purge", futureV)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTermPendingBoundedAcrossCycles asserts the behavioural fix: over
+// many WaitEmpty cycles with real traffic, the pending maps stay
+// bounded on every rank instead of accumulating one dead entry set per
+// cycle.
+func TestTermPendingBoundedAcrossCycles(t *testing.T) {
+	const cycles = 50
+	topo := machine.New(2, 2)
+	sizes := make([]int, topo.WorldSize())
+	_, err := transport.Run(transport.Config{
+		Topo:  topo,
+		Model: netsim.Quartz(),
+		Seed:  3,
+	}, func(p *transport.Proc) error {
+		mb := New(p, func(s Sender, payload []byte) {},
+			WithScheme(machine.NLNR),
+			WithExchange(LazyExchange),
+			WithCapacity(8)).(*Mailbox)
+		peer := machine.Rank((int(p.Rank()) + 1) % topo.WorldSize())
+		for c := 0; c < cycles; c++ {
+			for i := 0; i < 16; i++ {
+				mb.Send(peer, []byte("payload"))
+			}
+			mb.WaitEmpty()
+		}
+		sizes[p.Rank()] = len(mb.term.pendingContrib) + len(mb.term.pendingVerdict)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the purge, rank 0 (every parent, really) accretes buffered
+	// state across the 50 cycles; with it, at most a couple of entries
+	// for the generation in progress can remain.
+	for r, n := range sizes {
+		if n > 2 {
+			t.Fatalf("rank %d ends with %d pending entries after %d cycles, want <= 2", r, n, cycles)
+		}
+	}
+}
