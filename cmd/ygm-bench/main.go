@@ -7,6 +7,8 @@
 //	ygm-bench -fig fig6a,fig8d -preset paper
 //	ygm-bench -fig fig7a -cores 8 -nodes 1,4,16,64
 //	ygm-bench -fig fig6a -trace out.json        # Perfetto timeline of the run
+//	ygm-bench -parallel 8                       # figure cells across 8 workers, same results
+//	ygm-bench -fig fig8a -cpuprofile cpu.pb.gz  # pprof profile of the sweep
 //	ygm-bench -list
 //
 // Experiments report *simulated* seconds from the netsim cost model (one
@@ -33,7 +35,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("ygm-bench", flag.ContinueOnError)
 	figs := fs.String("fig", "all", "comma-separated experiment ids, or 'all'")
 	preset := fs.String("preset", "quick", "workload preset: quick or paper")
@@ -48,9 +50,23 @@ func run(args []string) error {
 	benchRounds := fs.Int("bench-rounds", 3, "micro-bench rounds per entry for -bench-json/-bench-compare (best kept)")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this path (open in ui.perfetto.dev)")
 	validateTrace := fs.String("validate-trace", "", "validate a trace file produced by -trace and exit (used by the CI trace smoke job)")
+	parallel := fs.Int("parallel", 1, "run each figure's independent cells on this many workers (simulated results are identical to serial)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (captured after the run) to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	runner := &bench.Runner{Workers: *parallel, CPUProfile: *cpuProfile, MemProfile: *memProfile}
+	stopProfiles, err := runner.Profile()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 
 	if *benchJSON != "" || *benchCompare != "" {
 		return runBaseline(*benchJSON, *benchCompare, *benchRounds)
@@ -136,7 +152,7 @@ func run(args []string) error {
 	}
 	for _, e := range selected {
 		start := time.Now()
-		table := e.Run(p)
+		table := runner.Run(e, p)
 		if *format == "csv" {
 			fmt.Printf("# %s\n", e.ID)
 			table.PrintCSV(os.Stdout)

@@ -47,6 +47,49 @@ func TestValidateTraceFlagRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestParallelFlagRunsFigure: -parallel must complete a real figure
+// sweep through the worker pool. (Equality of parallel and serial
+// tables up to simulator tie-break jitter is asserted in
+// internal/bench's TestParallelMatchesSerial, on the Table values
+// directly.)
+func TestParallelFlagRunsFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full fig6a sweep")
+	}
+	if err := run([]string{"-fig", "fig6a", "-preset", "quick", "-nodes", "1,2", "-parallel", "4", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfileFlagPlumbing: -cpuprofile/-memprofile must produce
+// non-empty pprof files for a run, and a bad profile path must fail the
+// run instead of silently profiling nothing. Uses the topo experiment,
+// which runs no simulated worlds, so the test is instant.
+func TestProfileFlagPlumbing(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	if err := run([]string{"-fig", "topo", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+	bad := filepath.Join(dir, "no-such-dir", "cpu.pb.gz")
+	if err := run([]string{"-fig", "topo", "-cpuprofile", bad}); err == nil {
+		t.Fatal("run succeeded despite unwritable -cpuprofile path")
+	}
+	if err := run([]string{"-fig", "topo", "-memprofile", bad}); err == nil {
+		t.Fatal("run succeeded despite unwritable -memprofile path")
+	}
+}
+
 // TestTraceFlagRejectsUnwritablePath: a bad trace path must surface as
 // an error, not a silent no-trace run.
 func TestTraceFlagRejectsUnwritablePath(t *testing.T) {

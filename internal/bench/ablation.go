@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"ygm/internal/apps"
 	"ygm/internal/codec"
 	"ygm/internal/collective"
@@ -14,21 +16,25 @@ import (
 // a fixed node count — the design parameter the paper fixes at 2^18 and
 // scales with N in Fig. 8d. Too small: flushes defeat coalescing; too
 // large: messages sit in buffers and receive-side overlap disappears.
-func AblationMailboxSize(p Preset) *Table {
-	t := &Table{ID: "ablation-mailbox", Title: "mailbox capacity sweep (degree counting, NLNR and NoRoute)"}
+func AblationMailboxSize(p Preset) *Table { return runPlan(ablationMailboxPlan(p)) }
+
+func ablationMailboxPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "ablation-mailbox", Title: "mailbox capacity sweep (degree counting, NLNR and NoRoute)"}}
 	nodes := p.WeakNodes[len(p.WeakNodes)-1]
 	world := uint64(nodes * p.Cores)
 	numVertices := p.DegreeVerticesPerRank * world
 	for capacity := 16; capacity <= 16*p.MailboxCap; capacity *= 4 {
 		for _, scheme := range []machine.Scheme{machine.NoRoute, machine.NLNR} {
-			q := p
-			q.MailboxCap = capacity
-			row := degreeRun(q, nodes, scheme, numVertices, p.DegreeEdgesPerRank)
-			row.Labels = append(row.Labels, Label{Key: "capacity", Val: itoa(capacity)})
-			t.Add(row)
+			pl.add(fmt.Sprintf("ablation-mailbox/cap=%d/scheme=%s", capacity, scheme), func() Row {
+				q := p
+				q.MailboxCap = capacity
+				row := degreeRun(q, nodes, scheme, numVertices, p.DegreeEdgesPerRank)
+				row.Labels = append(row.Labels, Label{Key: "capacity", Val: itoa(capacity)})
+				return row
+			})
 		}
 	}
-	return t
+	return pl
 }
 
 // AblationStraggler is the paper's core motivation measured directly:
@@ -37,8 +43,10 @@ func AblationMailboxSize(p Preset) *Table {
 // with one rank's compute slowed 10x. The mailbox couples ranks only
 // through message routes; the collective couples everyone to the
 // straggler every batch.
-func AblationStraggler(p Preset) *Table {
-	t := &Table{ID: "ablation-straggler", Title: "async mailbox vs synchronous ALLTOALLV with a 10x straggler"}
+func AblationStraggler(p Preset) *Table { return runPlan(ablationStragglerPlan(p)) }
+
+func ablationStragglerPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "ablation-straggler", Title: "async mailbox vs synchronous ALLTOALLV with a 10x straggler"}}
 	nodes := p.WeakNodes[len(p.WeakNodes)-1]
 	world := nodes * p.Cores
 	numVertices := p.DegreeVerticesPerRank * uint64(world)
@@ -58,35 +66,38 @@ func AblationStraggler(p Preset) *Table {
 			scaleFn = nil
 		}
 		// (a) the YGM mailbox (round-matched, the paper's protocol).
-		cfg := apps.DegreeCountConfig{
-			Mailbox:      ygm.Options{Scheme: machine.NLNR, Capacity: p.MailboxCap},
-			NumVertices:  numVertices,
-			EdgesPerRank: edgesPerRank,
-			BatchSize:    edgesPerRank / batches,
-			NewGen: func(proc *transport.Proc) graph.Generator {
-				return graph.NewUniform(numVertices, p.Seed*31+int64(proc.Rank()))
-			},
-		}
-		rep, _ := runWorld(p, nodes, scaleFn, func(proc *transport.Proc, ex *extras) error {
-			_, err := apps.DegreeCount(proc, cfg)
-			return err
+		pl.add("ablation-straggler/ygm-async/load="+mode, func() Row {
+			cfg := apps.DegreeCountConfig{
+				Mailbox:      ygm.Options{Scheme: machine.NLNR, Capacity: p.MailboxCap},
+				NumVertices:  numVertices,
+				EdgesPerRank: edgesPerRank,
+				BatchSize:    edgesPerRank / batches,
+				NewGen: func(proc *transport.Proc) graph.Generator {
+					return graph.NewUniform(numVertices, p.Seed*31+int64(proc.Rank()))
+				},
+			}
+			rep, _ := runWorld(p, nodes, scaleFn, func(proc *transport.Proc, ex *extras) error {
+				_, err := apps.DegreeCount(proc, cfg)
+				return err
+			})
+			return Row{
+				Labels: []Label{{Key: "exchange", Val: "ygm-async"}, {Key: "load", Val: mode}},
+				Values: perfValues(rep, float64(edgesPerRank)*float64(world), "edges"),
+			}
 		})
-		row := Row{
-			Labels: []Label{{Key: "exchange", Val: "ygm-async"}, {Key: "load", Val: mode}},
-			Values: perfValues(rep, float64(edgesPerRank)*float64(world), "edges"),
-		}
-		t.Add(row)
 
 		// (b) synchronous ALLTOALLV exchange per batch.
-		rep, _ = runWorld(p, nodes, scaleFn, func(proc *transport.Proc, ex *extras) error {
-			return syncDegreeCount(proc, numVertices, edgesPerRank, batches, p.Seed)
-		})
-		t.Add(Row{
-			Labels: []Label{{Key: "exchange", Val: "alltoallv-sync"}, {Key: "load", Val: mode}},
-			Values: perfValues(rep, float64(edgesPerRank)*float64(world), "edges"),
+		pl.add("ablation-straggler/alltoallv-sync/load="+mode, func() Row {
+			rep, _ := runWorld(p, nodes, scaleFn, func(proc *transport.Proc, ex *extras) error {
+				return syncDegreeCount(proc, numVertices, edgesPerRank, batches, p.Seed)
+			})
+			return Row{
+				Labels: []Label{{Key: "exchange", Val: "alltoallv-sync"}, {Key: "load", Val: mode}},
+				Values: perfValues(rep, float64(edgesPerRank)*float64(world), "edges"),
+			}
 		})
 	}
-	return t
+	return pl
 }
 
 // syncDegreeCount is the bulk-synchronous strawman: per batch, each rank
@@ -132,56 +143,64 @@ func syncDegreeCount(proc *transport.Proc, numVertices uint64, edgesPerRank, bat
 // hybrid (threads-style) runtime where on-node hops hand over pointers
 // instead of copying. Local per-byte costs vanish; the win is largest
 // for NLNR, whose extra local exchange is pure copy overhead.
-func AblationZeroCopy(p Preset) *Table {
-	t := &Table{ID: "ablation-zerocopy", Title: "MPI-only copies vs zero-copy local exchange (Section VII)"}
+func AblationZeroCopy(p Preset) *Table { return runPlan(ablationZeroCopyPlan(p)) }
+
+func ablationZeroCopyPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "ablation-zerocopy", Title: "MPI-only copies vs zero-copy local exchange (Section VII)"}}
 	nodes := p.WeakNodes[len(p.WeakNodes)-1]
 	world := uint64(nodes * p.Cores)
 	numVertices := p.DegreeVerticesPerRank * world
 	for _, zero := range []bool{false, true} {
-		q := p
-		q.Model.ZeroCopyLocal = zero
 		mode := "copying"
 		if zero {
 			mode = "zero-copy"
 		}
 		for _, scheme := range []machine.Scheme{machine.NodeRemote, machine.NLNR} {
-			row := degreeRun(q, nodes, scheme, numVertices, p.DegreeEdgesPerRank)
-			row.Labels = append(row.Labels, Label{Key: "local", Val: mode})
-			t.Add(row)
+			pl.add(fmt.Sprintf("ablation-zerocopy/%s/scheme=%s", mode, scheme), func() Row {
+				q := p
+				q.Model.ZeroCopyLocal = zero
+				row := degreeRun(q, nodes, scheme, numVertices, p.DegreeEdgesPerRank)
+				row.Labels = append(row.Labels, Label{Key: "local", Val: mode})
+				return row
+			})
 		}
 	}
-	return t
+	return pl
 }
 
 // AblationBroadcast measures the remote cost of asynchronous broadcasts
 // per scheme directly (Section III-C's factor-of-C claim): every rank
 // issues B broadcasts and the table reports remote packets and time.
-func AblationBroadcast(p Preset) *Table {
-	t := &Table{ID: "ablation-bcast", Title: "broadcast remote cost per scheme"}
+func AblationBroadcast(p Preset) *Table { return runPlan(ablationBroadcastPlan(p)) }
+
+func ablationBroadcastPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "ablation-bcast", Title: "broadcast remote cost per scheme"}}
 	nodes := p.WeakNodes[len(p.WeakNodes)-1]
 	const bcastsPerRank = 8
 	for _, scheme := range machine.Schemes {
-		rep, _ := runWorld(p, nodes, nil, func(proc *transport.Proc, ex *extras) error {
-			mb := ygm.New(proc, func(s ygm.Sender, payload []byte) {},
-				ygm.WithScheme(scheme),
-				ygm.WithCapacity(p.MailboxCap),
-				ygm.WithExchange(ygm.LazyExchange))
-			msg := make([]byte, 16)
-			for i := 0; i < bcastsPerRank; i++ {
-				mb.Broadcast(msg)
+		pl.add("ablation-bcast/scheme="+scheme.String(), func() Row {
+			rep, _ := runWorld(p, nodes, nil, func(proc *transport.Proc, ex *extras) error {
+				mb := ygm.New(proc, func(s ygm.Sender, payload []byte) {},
+					ygm.WithScheme(scheme),
+					ygm.WithCapacity(p.MailboxCap),
+					ygm.WithExchange(ygm.LazyExchange))
+				msg := make([]byte, 16)
+				for i := 0; i < bcastsPerRank; i++ {
+					mb.Broadcast(msg)
+				}
+				mb.WaitEmpty()
+				return nil
+			})
+			world := nodes * p.Cores
+			deliveries := float64(bcastsPerRank) * float64(world) * float64(world-1)
+			return Row{
+				Labels: []Label{{Key: "scheme", Val: scheme.String()}},
+				Values: append(perfValues(rep, deliveries, "msgs"),
+					Value{Key: "bcasts", Val: float64(bcastsPerRank * world)}),
 			}
-			mb.WaitEmpty()
-			return nil
-		})
-		world := nodes * p.Cores
-		deliveries := float64(bcastsPerRank) * float64(world) * float64(world-1)
-		t.Add(Row{
-			Labels: []Label{{Key: "scheme", Val: scheme.String()}},
-			Values: append(perfValues(rep, deliveries, "msgs"),
-				Value{Key: "bcasts", Val: float64(bcastsPerRank * world)}),
 		})
 	}
-	return t
+	return pl
 }
 
 // AblationExchangeStyle compares the two exchange implementations of
@@ -190,8 +209,10 @@ func AblationBroadcast(p Preset) *Table {
 // versus the ALLTOALLV-backed SyncMailbox (each phase is a collective,
 // as performed better on IBM BG/Q). Balanced load favors the collective;
 // adding a straggler flips the comparison.
-func AblationExchangeStyle(p Preset) *Table {
-	t := &Table{ID: "ablation-exchange", Title: "async send/recv vs ALLTOALLV-backed exchanges (Section III-A)"}
+func AblationExchangeStyle(p Preset) *Table { return runPlan(ablationExchangePlan(p)) }
+
+func ablationExchangePlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "ablation-exchange", Title: "async send/recv vs ALLTOALLV-backed exchanges (Section III-A)"}}
 	nodes := p.WeakNodes[len(p.WeakNodes)-1]
 	world := nodes * p.Cores
 	numVertices := p.DegreeVerticesPerRank * uint64(world)
@@ -214,40 +235,48 @@ func AblationExchangeStyle(p Preset) *Table {
 					{Key: "load", Val: mode},
 				}
 			}
+			name := func(style string) string {
+				return fmt.Sprintf("ablation-exchange/%s/scheme=%s/load=%s", style, scheme, mode)
+			}
 			// Lazy-forwarding mailbox: jitter rounds run back to back
 			// with one terminal WaitEmpty — this variant never blocks on
 			// exchange partners (Algorithm 1 waits once).
-			cfg := apps.DegreeCountConfig{
-				Mailbox:        ygm.Options{Scheme: scheme, Capacity: p.MailboxCap, Exchange: ygm.LazyExchange},
-				NumVertices:    numVertices,
-				EdgesPerRank:   edgesPerRank,
-				JitterRounds:   batches,
-				JitterPerRound: jitter,
-				NewGen: func(proc *transport.Proc) graph.Generator {
-					return graph.NewUniform(numVertices, p.Seed*31+int64(proc.Rank()))
-				},
-			}
-			rep, _ := runWorld(p, nodes, nil, func(proc *transport.Proc, ex *extras) error {
-				_, err := apps.DegreeCount(proc, cfg)
-				return err
+			pl.add(name("async"), func() Row {
+				cfg := apps.DegreeCountConfig{
+					Mailbox:        ygm.Options{Scheme: scheme, Capacity: p.MailboxCap, Exchange: ygm.LazyExchange},
+					NumVertices:    numVertices,
+					EdgesPerRank:   edgesPerRank,
+					JitterRounds:   batches,
+					JitterPerRound: jitter,
+					NewGen: func(proc *transport.Proc) graph.Generator {
+						return graph.NewUniform(numVertices, p.Seed*31+int64(proc.Rank()))
+					},
+				}
+				rep, _ := runWorld(p, nodes, nil, func(proc *transport.Proc, ex *extras) error {
+					_, err := apps.DegreeCount(proc, cfg)
+					return err
+				})
+				return Row{Labels: labels("async"), Values: perfValues(rep, float64(edgesPerRank)*float64(world), "edges")}
 			})
-			row := Row{Labels: labels("async"), Values: perfValues(rep, float64(edgesPerRank)*float64(world), "edges")}
-			t.Add(row)
 
 			// Round-matched exchanges (the paper's protocol rounds).
-			rep, _ = runWorld(p, nodes, nil, func(proc *transport.Proc, ex *extras) error {
-				return roundMailboxDegreeCount(proc, scheme, numVertices, edgesPerRank, batches, jitter, p.Seed, p.MailboxCap)
+			pl.add(name("round"), func() Row {
+				rep, _ := runWorld(p, nodes, nil, func(proc *transport.Proc, ex *extras) error {
+					return roundMailboxDegreeCount(proc, scheme, numVertices, edgesPerRank, batches, jitter, p.Seed, p.MailboxCap)
+				})
+				return Row{Labels: labels("round"), Values: perfValuesAll(rep, float64(edgesPerRank)*float64(world), "edges")}
 			})
-			t.Add(Row{Labels: labels("round"), Values: perfValuesAll(rep, float64(edgesPerRank)*float64(world), "edges")})
 
 			// ALLTOALLV-backed SyncMailbox running the same counting.
-			rep, _ = runWorld(p, nodes, nil, func(proc *transport.Proc, ex *extras) error {
-				return syncMailboxDegreeCount(proc, scheme, numVertices, edgesPerRank, batches, jitter, p.Seed)
+			pl.add(name("alltoallv"), func() Row {
+				rep, _ := runWorld(p, nodes, nil, func(proc *transport.Proc, ex *extras) error {
+					return syncMailboxDegreeCount(proc, scheme, numVertices, edgesPerRank, batches, jitter, p.Seed)
+				})
+				return Row{Labels: labels("alltoallv"), Values: perfValuesAll(rep, float64(edgesPerRank)*float64(world), "edges")}
 			})
-			t.Add(Row{Labels: labels("alltoallv"), Values: perfValuesAll(rep, float64(edgesPerRank)*float64(world), "edges")})
 		}
 	}
-	return t
+	return pl
 }
 
 // roundMailboxDegreeCount is Algorithm 1 on the RoundMailbox: sends

@@ -35,46 +35,55 @@ func Topology(p Preset) *Table {
 // 32-core system, the average remote message size each routing scheme
 // achieves — V/(NC) for no routing, V/N for NodeLocal/NodeRemote, VC/N
 // for NLNR — and the bandwidth the curve yields at that size.
-func Fig5(p Preset) *Table {
-	t := &Table{ID: "fig5", Title: "network bandwidth between two ranks vs message size"}
+func Fig5(p Preset) *Table { return runPlan(fig5Plan(p)) }
+
+func fig5Plan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "fig5", Title: "network bandwidth between two ranks vs message size"}}
 	for size := 8; size <= 4<<20; size *= 4 {
 		protocol := "eager"
 		if size > 16*1024 {
 			protocol = "rendezvous"
 		}
-		t.Add(Row{
-			Labels: []Label{
-				{Key: "msg_size", Val: fmt.Sprintf("%d", size)},
-				{Key: "protocol", Val: protocol},
-			},
-			Values: []Value{
-				{Key: "model_bw", Val: quartzGBs(p.Model.EffectiveBandwidth(size)), Unit: "GB/s"},
-				{Key: "measured_bw", Val: quartzGBs(measureBandwidth(p, size)), Unit: "GB/s"},
-			},
+		pl.add(fmt.Sprintf("fig5/size=%d", size), func() Row {
+			return Row{
+				Labels: []Label{
+					{Key: "msg_size", Val: fmt.Sprintf("%d", size)},
+					{Key: "protocol", Val: protocol},
+				},
+				Values: []Value{
+					{Key: "model_bw", Val: quartzGBs(p.Model.EffectiveBandwidth(size)), Unit: "GB/s"},
+					{Key: "measured_bw", Val: quartzGBs(measureBandwidth(p, size)), Unit: "GB/s"},
+				},
+			}
 		})
 	}
 	// Scheme markers: V = 1 MiB per core, N = 64, C = 32 (as in the
-	// paper's annotation, which assumes 32 cores per node).
-	const v, n, c = 1 << 20, 64, 32
-	for _, m := range []struct {
-		scheme string
-		size   float64
-	}{
-		{"NoRoute", float64(v) / (n * c)},
-		{"NodeLocal/NodeRemote", float64(v) / n},
-		{"NLNR", float64(v) * c / n},
-	} {
-		t.Add(Row{
-			Labels: []Label{
-				{Key: "msg_size", Val: fmt.Sprintf("%.0f", m.size)},
-				{Key: "protocol", Val: "marker:" + m.scheme},
-			},
-			Values: []Value{
-				{Key: "model_bw", Val: quartzGBs(p.Model.EffectiveBandwidth(int(m.size))), Unit: "GB/s"},
-			},
-		})
-	}
-	return t
+	// paper's annotation, which assumes 32 cores per node). Pure model
+	// evaluation — one cheap cell, no simulated world.
+	pl.addRows("fig5/markers", func() []Row {
+		const v, n, c = 1 << 20, 64, 32
+		var rows []Row
+		for _, m := range []struct {
+			scheme string
+			size   float64
+		}{
+			{"NoRoute", float64(v) / (n * c)},
+			{"NodeLocal/NodeRemote", float64(v) / n},
+			{"NLNR", float64(v) * c / n},
+		} {
+			rows = append(rows, Row{
+				Labels: []Label{
+					{Key: "msg_size", Val: fmt.Sprintf("%.0f", m.size)},
+					{Key: "protocol", Val: "marker:" + m.scheme},
+				},
+				Values: []Value{
+					{Key: "model_bw", Val: quartzGBs(p.Model.EffectiveBandwidth(int(m.size))), Unit: "GB/s"},
+				},
+			})
+		}
+		return rows
+	})
+	return pl
 }
 
 // measureBandwidth ping-pongs `count` messages of the given size between

@@ -38,21 +38,27 @@ func degreeRun(p Preset, nodes int, scheme machine.Scheme, numVertices uint64, e
 // keeps edges-per-rank and mailbox size fixed across the node sweep,
 // which is what produces the NoRoute collapse and the eventual
 // NodeLocal/NodeRemote coalescing falloff.
-func Fig6a(p Preset) *Table {
-	t := &Table{ID: "fig6a", Title: "degree counting weak scaling (uniform edges, fixed mailbox)"}
+func Fig6a(p Preset) *Table { return runPlan(fig6aPlan(p)) }
+
+func fig6aPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "fig6a", Title: "degree counting weak scaling (uniform edges, fixed mailbox)"}}
 	for _, nodes := range p.WeakNodes {
 		world := uint64(nodes * p.Cores)
 		numVertices := p.DegreeVerticesPerRank * world
 		for _, scheme := range machine.Schemes {
-			t.Add(degreeRun(p, nodes, scheme, numVertices, p.DegreeEdgesPerRank))
+			pl.add(cellName("fig6a", nodes, scheme), func() Row {
+				return degreeRun(p, nodes, scheme, numVertices, p.DegreeEdgesPerRank)
+			})
 		}
 	}
-	return t
+	return pl
 }
 
 // Fig6b: degree counting strong scaling (fixed total problem).
-func Fig6b(p Preset) *Table {
-	t := &Table{ID: "fig6b", Title: "degree counting strong scaling (fixed total edges)"}
+func Fig6b(p Preset) *Table { return runPlan(fig6bPlan(p)) }
+
+func fig6bPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "fig6b", Title: "degree counting strong scaling (fixed total edges)"}}
 	for _, nodes := range p.StrongNodes {
 		world := nodes * p.Cores
 		edgesPerRank := p.DegreeStrongEdges / world
@@ -60,10 +66,12 @@ func Fig6b(p Preset) *Table {
 			edgesPerRank = 1
 		}
 		for _, scheme := range machine.Schemes {
-			t.Add(degreeRun(p, nodes, scheme, p.DegreeStrongVertices, edgesPerRank))
+			pl.add(cellName("fig6b", nodes, scheme), func() Row {
+				return degreeRun(p, nodes, scheme, p.DegreeStrongVertices, edgesPerRank)
+			})
 		}
 	}
-	return t
+	return pl
 }
 
 func maxInt(a, b int) int {

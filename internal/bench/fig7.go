@@ -49,21 +49,27 @@ func ccRun(p Preset, nodes int, scheme machine.Scheme, scale, edgesPerRank int) 
 // the delegate threshold scales with the expected maximum degree, and
 // the broadcast count per point is reported alongside time — the growth
 // the paper plots on the secondary axis.
-func Fig7a(p Preset) *Table {
-	t := &Table{ID: "fig7a", Title: "connected components weak scaling (RMAT, delegates + broadcasts)"}
+func Fig7a(p Preset) *Table { return runPlan(fig7aPlan(p)) }
+
+func fig7aPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "fig7a", Title: "connected components weak scaling (RMAT, delegates + broadcasts)"}}
 	for _, nodes := range p.WeakNodes {
 		world := nodes * p.Cores
 		scale := p.CCVerticesPerRankLog + log2(world)
 		for _, scheme := range machine.Schemes {
-			t.Add(ccRun(p, nodes, scheme, scale, p.CCEdgesPerRank))
+			pl.add(cellName("fig7a", nodes, scheme), func() Row {
+				return ccRun(p, nodes, scheme, scale, p.CCEdgesPerRank)
+			})
 		}
 	}
-	return t
+	return pl
 }
 
 // Fig7b: connected components strong scaling (fixed graph).
-func Fig7b(p Preset) *Table {
-	t := &Table{ID: "fig7b", Title: "connected components strong scaling (fixed RMAT graph)"}
+func Fig7b(p Preset) *Table { return runPlan(fig7bPlan(p)) }
+
+func fig7bPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "fig7b", Title: "connected components strong scaling (fixed RMAT graph)"}}
 	for _, nodes := range p.StrongNodes {
 		world := nodes * p.Cores
 		edgesPerRank := p.CCStrongEdges / world
@@ -71,8 +77,10 @@ func Fig7b(p Preset) *Table {
 			edgesPerRank = 1
 		}
 		for _, scheme := range machine.Schemes {
-			t.Add(ccRun(p, nodes, scheme, p.CCStrongScale, edgesPerRank))
+			pl.add(cellName("fig7b", nodes, scheme), func() Row {
+				return ccRun(p, nodes, scheme, p.CCStrongScale, edgesPerRank)
+			})
 		}
 	}
-	return t
+	return pl
 }

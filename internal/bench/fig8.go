@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"ygm/internal/apps"
 	"ygm/internal/combblas"
 	"ygm/internal/graph"
@@ -99,67 +101,85 @@ func isGridNode(p Preset, nodes int) bool {
 
 // Fig8a: SpMV weak scaling on Graph500 RMAT matrices with delegates,
 // against the CombBLAS-style 2D baseline at square world sizes.
-func Fig8a(p Preset) *Table {
-	t := &Table{ID: "fig8a", Title: "SpMV weak scaling (RMAT 0.57/0.19/0.19/0.05, delegates) vs CombBLAS-style 2D"}
+func Fig8a(p Preset) *Table { return runPlan(fig8aPlan(p)) }
+
+func fig8aPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "fig8a", Title: "SpMV weak scaling (RMAT 0.57/0.19/0.19/0.05, delegates) vs CombBLAS-style 2D"}}
 	for _, nodes := range p.WeakNodes {
 		world := nodes * p.Cores
 		scale := p.SpMVVerticesPerRankLog + log2(world)
 		edgesPerRank := p.SpMVEdgeFactor << uint(p.SpMVVerticesPerRankLog)
 		for _, scheme := range machine.Schemes {
-			t.Add(spmvRun(p, nodes, scheme, graph.Graph500, scale, edgesPerRank, p.SpMVDelegateFrac, p.MailboxCap))
+			pl.add(cellName("fig8a", nodes, scheme), func() Row {
+				return spmvRun(p, nodes, scheme, graph.Graph500, scale, edgesPerRank, p.SpMVDelegateFrac, p.MailboxCap)
+			})
 		}
 		if isGridNode(p, nodes) {
-			t.Add(combblasRun(p, nodes, graph.Graph500, scale, edgesPerRank))
+			pl.add(fmt.Sprintf("fig8a/nodes=%d/scheme=CombBLAS", nodes), func() Row {
+				return combblasRun(p, nodes, graph.Graph500, scale, edgesPerRank)
+			})
 		}
 	}
-	return t
+	return pl
 }
 
 // Fig8b: delegate count growth across the Fig. 8a weak-scaling sweep.
-func Fig8b(p Preset) *Table {
-	t := &Table{ID: "fig8b", Title: "delegate growth under SpMV weak scaling"}
+func Fig8b(p Preset) *Table { return runPlan(fig8bPlan(p)) }
+
+func fig8bPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "fig8b", Title: "delegate growth under SpMV weak scaling"}}
 	for _, nodes := range p.WeakNodes {
 		world := nodes * p.Cores
 		scale := p.SpMVVerticesPerRankLog + log2(world)
 		edgesPerRank := p.SpMVEdgeFactor << uint(p.SpMVVerticesPerRankLog)
-		row := spmvRun(p, nodes, machine.NLNR, graph.Graph500, scale, edgesPerRank, p.SpMVDelegateFrac, p.MailboxCap)
-		delegates, _ := row.Get("delegates")
-		t.Add(Row{
-			Labels: []Label{{Key: "nodes", Val: itoa(nodes)}},
-			Values: []Value{
-				{Key: "delegates", Val: delegates},
-				{Key: "vertices", Val: float64(uint64(1) << uint(scale))},
-			},
+		pl.add(cellName("fig8b", nodes, machine.NLNR), func() Row {
+			row := spmvRun(p, nodes, machine.NLNR, graph.Graph500, scale, edgesPerRank, p.SpMVDelegateFrac, p.MailboxCap)
+			delegates, _ := row.Get("delegates")
+			return Row{
+				Labels: []Label{{Key: "nodes", Val: itoa(nodes)}},
+				Values: []Value{
+					{Key: "delegates", Val: delegates},
+					{Key: "vertices", Val: float64(uint64(1) << uint(scale))},
+				},
+			}
 		})
 	}
-	return t
+	return pl
 }
 
 // Fig8c: SpMV weak scaling on uniform matrices (RMAT 0.25 x4) without
 // delegates, vs the 2D baseline — isolating the communication layer from
 // the delegate mechanism, as the paper does.
-func Fig8c(p Preset) *Table {
-	t := &Table{ID: "fig8c", Title: "SpMV weak scaling (uniform, no delegates) vs CombBLAS-style 2D"}
+func Fig8c(p Preset) *Table { return runPlan(fig8cPlan(p)) }
+
+func fig8cPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "fig8c", Title: "SpMV weak scaling (uniform, no delegates) vs CombBLAS-style 2D"}}
 	for _, nodes := range p.WeakNodes {
 		world := nodes * p.Cores
 		scale := p.SpMVVerticesPerRankLog + log2(world)
 		edgesPerRank := p.SpMVEdgeFactor << uint(p.SpMVVerticesPerRankLog)
 		for _, scheme := range machine.Schemes {
-			t.Add(spmvRun(p, nodes, scheme, graph.Uniform4, scale, edgesPerRank, 0, p.MailboxCap))
+			pl.add(cellName("fig8c", nodes, scheme), func() Row {
+				return spmvRun(p, nodes, scheme, graph.Uniform4, scale, edgesPerRank, 0, p.MailboxCap)
+			})
 		}
 		if isGridNode(p, nodes) {
-			t.Add(combblasRun(p, nodes, graph.Uniform4, scale, edgesPerRank))
+			pl.add(fmt.Sprintf("fig8c/nodes=%d/scheme=CombBLAS", nodes), func() Row {
+				return combblasRun(p, nodes, graph.Uniform4, scale, edgesPerRank)
+			})
 		}
 	}
-	return t
+	return pl
 }
 
 // Fig8d: SpMV strong scaling on the webgraph-like matrix. As in the
 // paper, the mailbox size scales with the node count (2^10 x N there);
 // without that scaling, per-channel message sizes shrink until
 // coalescing stops paying.
-func Fig8d(p Preset) *Table {
-	t := &Table{ID: "fig8d", Title: "SpMV strong scaling (webgraph-like matrix, mailbox scaled with N)"}
+func Fig8d(p Preset) *Table { return runPlan(fig8dPlan(p)) }
+
+func fig8dPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "fig8d", Title: "SpMV strong scaling (webgraph-like matrix, mailbox scaled with N)"}}
 	for _, nodes := range p.StrongNodes {
 		world := nodes * p.Cores
 		edgesPerRank := p.SpMVStrongEdges / world
@@ -171,11 +191,15 @@ func Fig8d(p Preset) *Table {
 			capacity = 64
 		}
 		for _, scheme := range machine.Schemes {
-			t.Add(spmvRun(p, nodes, scheme, graph.Webgraph, p.SpMVStrongScale, edgesPerRank, p.SpMVDelegateFrac, capacity))
+			pl.add(cellName("fig8d", nodes, scheme), func() Row {
+				return spmvRun(p, nodes, scheme, graph.Webgraph, p.SpMVStrongScale, edgesPerRank, p.SpMVDelegateFrac, capacity)
+			})
 		}
 		if isGridNode(p, nodes) {
-			t.Add(combblasRun(p, nodes, graph.Webgraph, p.SpMVStrongScale, edgesPerRank))
+			pl.add(fmt.Sprintf("fig8d/nodes=%d/scheme=CombBLAS", nodes), func() Row {
+				return combblasRun(p, nodes, graph.Webgraph, p.SpMVStrongScale, edgesPerRank)
+			})
 		}
 	}
-	return t
+	return pl
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"ygm/internal/graph"
 	"ygm/internal/machine"
 )
@@ -15,14 +17,20 @@ import (
 // overtakes. The sweep uses a low edge factor and a mailbox large enough
 // that YGM runs bandwidth-dominated rather than overhead-dominated,
 // exactly the regime the paper's 2^18-record mailboxes produced.
-func Fig8x(p Preset) *Table {
-	t := &Table{ID: "fig8x", Title: "SpMV crossover vs CombBLAS-style 2D (paper-scale per-rank volumes)"}
+func Fig8x(p Preset) *Table { return runPlan(fig8xPlan(p)) }
+
+func fig8xPlan(p Preset) Plan {
+	pl := Plan{Table: &Table{ID: "fig8x", Title: "SpMV crossover vs CombBLAS-style 2D (paper-scale per-rank volumes)"}}
 	for _, nodes := range p.XoverGridNodes {
 		world := nodes * p.Cores
 		scale := p.XoverVerticesPerRankLog + log2(world)
 		edgesPerRank := p.XoverEdgeFactor << uint(p.XoverVerticesPerRankLog)
-		t.Add(spmvRun(p, nodes, machine.NLNR, graph.Uniform4, scale, edgesPerRank, 0, p.XoverMailboxCap))
-		t.Add(combblasRun(p, nodes, graph.Uniform4, scale, edgesPerRank))
+		pl.add(cellName("fig8x", nodes, machine.NLNR), func() Row {
+			return spmvRun(p, nodes, machine.NLNR, graph.Uniform4, scale, edgesPerRank, 0, p.XoverMailboxCap)
+		})
+		pl.add(fmt.Sprintf("fig8x/nodes=%d/scheme=CombBLAS", nodes), func() Row {
+			return combblasRun(p, nodes, graph.Uniform4, scale, edgesPerRank)
+		})
 	}
-	return t
+	return pl
 }

@@ -1,0 +1,12 @@
+package bench
+
+import "testing"
+
+// BenchmarkMicro exposes the committed baseline suite as ordinary go
+// benchmarks, so `go test -bench Micro -cpuprofile ...` can profile the
+// exact workloads ygm-bench measures and gates on.
+func BenchmarkMicro(b *testing.B) {
+	for _, mb := range MicroBenches() {
+		b.Run(mb.Name, mb.Run)
+	}
+}

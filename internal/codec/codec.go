@@ -54,6 +54,18 @@ func (w *Writer) Len() int { return len(w.buf) }
 // Reset truncates the writer for reuse, retaining capacity.
 func (w *Writer) Reset() { w.buf = w.buf[:0] }
 
+// Arm gives a writer that has no storage yet an initial capacity of n
+// bytes. Callers that know their typical fill level (coalescing buffers
+// fill to a flush threshold) use it to claim storage in one allocation
+// instead of letting the first fill double its way up from empty. A
+// writer that already owns storage — any capacity at all — is left
+// alone, so re-armed buffers of other sizes keep circulating.
+func (w *Writer) Arm(n int) {
+	if cap(w.buf) == 0 && n > 0 {
+		w.buf = make([]byte, 0, n)
+	}
+}
+
 // Detach hands the encoded buffer to the caller and re-arms the Writer
 // with replacement storage (which may be nil). The returned slice is
 // exactly the accumulated encoding and no longer aliases the Writer;
@@ -140,8 +152,15 @@ func (r *Reader) Remaining() int { return len(r.buf) - r.off }
 // Offset returns the number of bytes consumed so far.
 func (r *Reader) Offset() int { return r.off }
 
-// Uvarint decodes an unsigned varint.
+// Uvarint decodes an unsigned varint. Single-byte values — the bulk of
+// record headers and small lengths — take the branch-free fast path.
 func (r *Reader) Uvarint() (uint64, error) {
+	if r.off < len(r.buf) {
+		if b := r.buf[r.off]; b < 0x80 {
+			r.off++
+			return uint64(b), nil
+		}
+	}
 	v, n := binary.Uvarint(r.buf[r.off:])
 	if n > 0 {
 		r.off += n

@@ -2,7 +2,10 @@
 
 package transport
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // ygmcheckEnabled reports whether the runtime invariant layer is compiled
 // in (`go test -tags ygmcheck ./...`). The no-op twin lives in
@@ -16,27 +19,91 @@ func checkf(cond bool, format string, args ...any) {
 	}
 }
 
-// verify asserts the inbox's structural invariants for one tag: the
-// per-tag queue is a valid min-heap on (Arrive, seq) — so pops always
-// yield the earliest virtual arrival among physically present packets —
-// and the cached depth equals the sum of all queue lengths. Callers hold
-// ib.mu.
+// verify asserts the inbox's consumer-side structural invariants for one
+// tag: the per-tag heap is a valid min-heap on (Arrive, Src, seq) — so
+// pops always yield the earliest virtual arrival among absorbed packets
+// — and the cached depth equals the sum of all heap lengths. Only the
+// owning rank calls it (the heaps are consumer-private).
 func (ib *Inbox) verify(tag Tag) {
 	if q, ok := ib.queues[tag]; ok {
 		h := *q
 		for i := 1; i < len(h); i++ {
 			parent := (i - 1) / 2
-			checkf(!h.Less(i, parent),
+			checkf(!h.less(i, parent),
 				"inbox heap order violated for tag %d: index %d (arrive %g) sorts before its parent (arrive %g)",
 				tag, i, h[i].Arrive, h[parent].Arrive)
 		}
 	}
 	total := 0
 	for _, q := range ib.queues {
-		total += q.Len()
+		total += len(*q)
 	}
 	checkf(total == ib.depth,
 		"inbox depth accounting out of balance: cached %d, actual %d", ib.depth, total)
+}
+
+// checkRingBounds asserts one channel's ring counter invariants with
+// the head/tail values the caller just observed: the head never
+// overtakes the tail and the occupancy never exceeds the capacity.
+func (ib *Inbox) checkRingBounds(r *inboxRing, head, tail uint64) {
+	checkf(head <= tail,
+		"inbox ring head %d overtook tail %d", head, tail)
+	checkf(tail-head <= ringCap,
+		"inbox ring occupancy %d exceeds capacity %d (head %d, tail %d)",
+		tail-head, ringCap, head, tail)
+}
+
+// ringCheckFor resolves (lazily creating) one channel's audit state.
+// The side map keeps audit-only fields out of the hot ring structs that
+// default builds zero world² times per run.
+func (ib *Inbox) ringCheckFor(r *inboxRing) *ringCheck {
+	if ib.checkRings == nil {
+		ib.checkRings = make(map[*inboxRing]*ringCheck)
+	}
+	c, ok := ib.checkRings[r]
+	if !ok {
+		c = &ringCheck{}
+		ib.checkRings[r] = c
+	}
+	return c
+}
+
+// checkAbsorbed records one packet drained from a channel (ring slot or
+// overflow list) for the end-of-pass sequence audit.
+func (ib *Inbox) checkAbsorbed(r *inboxRing, p *Packet) {
+	c := ib.ringCheckFor(r)
+	c.batch = append(c.batch, seqArrive{seq: p.seq, arrive: p.Arrive})
+}
+
+// checkRingFlush audits one drain pass of a channel: the absorbed
+// sequence numbers must form a gap-free continuation of the channel
+// sequence (no packet lost, duplicated, or absorbed ahead of an earlier
+// one left behind — the prefix-closure drainChannel's ring/overflow
+// re-read loop exists to guarantee). With Inbox.checkMonotone set it
+// additionally asserts the channel's arrival clocks never decrease in
+// sequence order; that extra property only holds for fixed-size traffic
+// or under the non-overtaking clamp, so fixtures opt in.
+func (ib *Inbox) checkRingFlush(r *inboxRing) {
+	c, ok := ib.checkRings[r]
+	if !ok || len(c.batch) == 0 {
+		return
+	}
+	batch := c.batch
+	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+	for i, sa := range batch {
+		want := c.seq + uint64(i)
+		checkf(sa.seq == want,
+			"inbox channel sequence gap: absorbed seq %d where %d was expected (pass of %d packets from seq %d)",
+			sa.seq, want, len(batch), c.seq)
+		if ib.checkMonotone {
+			checkf(sa.arrive >= c.arrive,
+				"inbox channel arrival clock ran backwards: seq %d arrives at %g after %g",
+				sa.seq, sa.arrive, c.arrive)
+			c.arrive = sa.arrive
+		}
+	}
+	c.seq += uint64(len(batch))
+	c.batch = batch[:0]
 }
 
 // checkClockMonotone asserts that the rank's virtual clock never ran

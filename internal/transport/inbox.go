@@ -1,130 +1,532 @@
 package transport
 
 import (
-	"container/heap"
+	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"ygm/internal/machine"
 )
 
+// The inbox is organized as one single-producer/single-consumer ring per
+// sending rank (the "channel" src→dst), merged on the consumer side into
+// per-tag min-heaps ordered by virtual arrival. The split mirrors what
+// lightweight communication runtimes do in hardware terms: producers
+// append to their private ring with two atomic sequence counters and no
+// lock, and the owning rank absorbs all non-empty rings before every
+// pop. Single-producer is structural — a channel's producer is the
+// sending rank's goroutine, and each rank runs on exactly one goroutine.
+const (
+	// ringCap is the per-channel ring capacity (power of two). A full
+	// ring falls back to the mutex-guarded overflow list, so capacity
+	// stays unbounded; 16 slots absorb the coalesced flush bursts the
+	// mailbox emits between two consumer polls while keeping the
+	// per-world slot memory (world² · ringCap pointers) small enough
+	// that constructing many short-lived worlds stays cheap.
+	ringCap  = 16
+	ringMask = ringCap - 1
+
+	// ringSlabWorlds bounds the world size for which every ring's slot
+	// array is carved out of one shared slab at construction (world
+	// memory P²·ringCap pointers). Larger worlds allocate each ring's
+	// slots lazily on first push instead, trading a few allocations for
+	// not committing O(P²) slots when most channels never carry traffic.
+	ringSlabWorlds = 128
+
+	// parkSpins bounds the spin phase of a blocking receive: the
+	// consumer re-absorbs and yields this many times before parking on
+	// the wake channel. Spinning must yield — on GOMAXPROCS=1 a
+	// non-yielding spin would stall the very producer it waits for —
+	// and every yield walks the scheduler's run queue, so the spin
+	// budget is kept small: enough to catch a producer that is about
+	// to publish, cheap enough to lose to a park otherwise.
+	parkSpins = 2
+)
+
+// parker states (Inbox.pstate).
+const (
+	pIdle int32 = iota
+	pParked
+)
+
+// seqArrive is a (channel sequence, arrival clock) pair collected by the
+// ygmcheck absorb assertions; unused in default builds.
+type seqArrive struct {
+	seq    uint64
+	arrive float64
+}
+
+// ringCheck is one channel's ygmcheck audit state, kept out of inboxRing
+// so default builds do not zero (and GC-scan) it world² times per run.
+// Inbox.checkRings maps ring → state lazily, in ygmcheck builds only.
+type ringCheck struct {
+	seq    uint64
+	arrive float64
+	batch  []seqArrive
+}
+
+// inboxRing is one src→dst channel: a fixed-capacity SPSC ring plus an
+// unbounded mutex-guarded overflow list. The producer owns tail, seq
+// and ofPushed; the consumer owns head and ofTaken; buf slots are
+// handed across on the tail release/acquire edge. The producer-owned
+// counters get their own cache line; the rest is packed — inboxes are
+// built per world, so every padding byte is zeroed world² times.
+type inboxRing struct {
+	// tail is the count of packets published to the ring; its Store is
+	// the release edge that publishes the slot write. seq numbers every
+	// packet on this channel (ring or overflow) in push order; it needs
+	// no atomicity because the channel has exactly one producer.
+	// ofPushed counts packets diverted to the overflow list.
+	tail     atomic.Uint64
+	ofPushed atomic.Uint64
+	seq      uint64
+	_        [40]byte
+
+	// head is the count of packets drained from the ring; its Store is
+	// the release edge that returns slots to the producer. ofTaken
+	// counts overflow packets absorbed. Both consumer-owned.
+	head    atomic.Uint64
+	ofTaken uint64
+
+	// buf holds the ring slots. With a construction slab it is fixed;
+	// otherwise the producer allocates it on first push and publishes
+	// it through the tail release/acquire edge. of is the overflow
+	// list, appended under ofMu by the producer and swapped out whole
+	// by the consumer (which rotates in the inbox-level scratch array
+	// so steady overflow traffic reuses two backing arrays per ring).
+	buf  []*Packet
+	ofMu sync.Mutex
+	of   []*Packet
+}
+
 // packetHeap orders packets by virtual arrival time, breaking ties with
-// the global push sequence so ordering is stable.
+// (source rank, per-channel sequence) so the merge order is fully
+// deterministic — unlike a global push counter, the tie-break does not
+// depend on host scheduling of concurrent senders.
 type packetHeap []*Packet
 
-func (h packetHeap) Len() int { return len(h) }
-func (h packetHeap) Less(i, j int) bool {
-	if h[i].Arrive != h[j].Arrive {
-		return h[i].Arrive < h[j].Arrive
+func (h packetHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Arrive != b.Arrive {
+		return a.Arrive < b.Arrive
 	}
-	return h[i].seq < h[j].seq
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.seq < b.seq
 }
-func (h packetHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *packetHeap) Push(x interface{}) { *h = append(*h, x.(*Packet)) }
-func (h *packetHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	p := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *packetHeap) push(p *Packet) {
+	q := append(*h, p)
+	*h = q
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *packetHeap) popMin() *Packet {
+	q := *h
+	p := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && q.less(r, l) {
+			child = r
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
 	return p
 }
 
-// Inbox is a rank's receive queue: per-tag min-heaps on virtual arrival,
-// guarded by one mutex, with a condition variable for blocking receives.
-// Senders of any rank may push concurrently; only the owning rank pops.
+// Inbox is a rank's receive queue. Producers (one goroutine per sending
+// rank) push lock-free into their channel's ring; the owning rank — the
+// only consumer — absorbs all non-empty rings into consumer-private
+// per-tag min-heaps on virtual arrival and pops from those. Blocking
+// receives spin briefly (re-absorbing between yields) and then park on a
+// one-token wake channel that producers post to only when they observe
+// the parked state.
 type Inbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queues map[Tag]*packetHeap
-	// freeHeaps retires emptied per-tag queues for reuse. Round-matched
-	// exchanges mint a fresh tag every round; without recycling, queues
-	// would grow the map and allocate a heap header per round forever.
-	freeHeaps []*packetHeap
-	seq       uint64
-	pops      uint64
-	depth     int
-	// wakeups counts pushes that found the owning rank parked and
-	// signalled it; suppressed counts pushes that skipped the signal
-	// because nobody was waiting. Their sum is the push count.
-	wakeups    uint64
-	suppressed uint64
-	// maxDepth tracks the high-water mark of queued packets, a proxy for
-	// the receive-side memory pressure the mailbox capacity bounds.
-	maxDepth int
+	rings []inboxRing
+	// active is a bitmap of channels with possibly-unabsorbed packets:
+	// producers set their bit after every push, the consumer swaps
+	// whole words to zero while absorbing. An all-zero bitmap makes the
+	// empty-poll path a handful of loads. activeInline backs it without
+	// a separate allocation for worlds of up to 256 ranks.
+	active       []atomic.Uint64
+	activeInline [4]atomic.Uint64
+
+	// pstate/wake implement the park protocol. The consumer publishes
+	// pParked, re-checks for data, then receives on wake; a producer
+	// that CASes pParked→pIdle owns the transition and sends exactly
+	// one token. wake is created by the consumer before its first park
+	// and is published to producers by the pstate store.
+	pstate atomic.Int32
+	wake   chan struct{}
+
 	// waiting/waitTag expose whether the owning rank is parked inside
-	// WaitPop, and on which tag — the deadlock watchdog's blocked signal.
-	waiting bool
-	waitTag Tag
-	// poisoned is set by the deadlock watchdog once every active rank is
-	// blocked; it makes WaitPop return nil so blocked ranks can unwind
-	// and report their state instead of hanging forever.
-	poisoned bool
+	// WaitPop, and on which tag — the deadlock watchdog's blocked
+	// signal. poisoned makes WaitPop return nil so blocked ranks can
+	// unwind and report their state instead of hanging forever.
+	waiting  atomic.Bool
+	waitTag  atomic.Uint64
+	poisoned atomic.Bool
+
+	// pops counts heap pops; the watchdog reads it (together with the
+	// per-ring push counters) as its progress signal. wakeups counts
+	// pushes that won the unpark CAS; the remaining pushes found no
+	// parked receiver and suppressed the signal.
+	pops    atomic.Uint64
+	wakeups atomic.Uint64
+
+	// Consumer-private merge state: per-tag heaps keyed by tag, with
+	// emptied heaps retired to freeHeaps for reuse (round-matched
+	// exchanges mint a fresh tag every round). lastTag/lastQ memoize
+	// the last heap touched so steady single-tag traffic skips the map.
+	queues    map[Tag]*packetHeap
+	freeHeaps []*packetHeap
+	lastTag   Tag
+	lastQ     *packetHeap
+	depth     int
+	// ofScratch is the rotation buffer for overflow grabs: drainChannel
+	// hands it to the ring being drained and keeps that ring's old
+	// backing array here for the next grab (any ring's — overflow is
+	// rare enough that one rotation slot serves the whole inbox).
+	ofScratch []*Packet
+	// maxDepth tracks the high-water mark of merged packets, a proxy
+	// for the receive-side memory pressure the mailbox capacity bounds.
+	maxDepth int
+	// spinHits counts blocking receives satisfied during the spin
+	// phase; parks counts the times the consumer actually parked.
+	spinHits uint64
+	parks    uint64
+
+	// checkMonotone additionally asserts (ygmcheck builds only) that
+	// arrivals absorbed from one channel never decrease per tag. That
+	// only holds when senders emit fixed-size packets or the
+	// non-overtaking clamp is active, so it is opt-in for fixtures.
+	// checkRings holds the per-channel audit state, populated lazily
+	// and only in ygmcheck builds.
+	checkMonotone bool
+	checkRings    map[*inboxRing]*ringCheck
 }
 
-// NewInbox returns an empty inbox.
-func NewInbox() *Inbox {
-	ib := &Inbox{queues: make(map[Tag]*packetHeap)}
-	ib.cond = sync.NewCond(&ib.mu)
+// NewInbox returns an empty inbox for a world of worldSize ranks. Every
+// sending rank gets its own SPSC ring; worldSize is also the only legal
+// exclusive upper bound for Packet.Src values pushed here.
+func NewInbox(worldSize int) *Inbox {
+	var slab []*Packet
+	if worldSize <= ringSlabWorlds {
+		slab = make([]*Packet, worldSize*ringCap)
+	}
+	return newInboxFrom(make([]inboxRing, worldSize), slab)
+}
+
+// newInboxFrom builds an inbox over caller-provided ring headers and an
+// optional slot slab (length len(rings)·ringCap when non-nil, each ring
+// getting a fixed ringCap window). Run carves both out of world-sized
+// slabs so a P-rank world pays O(1) allocations for its P inboxes.
+func newInboxFrom(rings []inboxRing, slab []*Packet) *Inbox {
+	ib := &Inbox{
+		rings: rings,
+		// Tag heaps churn (round exchanges mint a tag per round), so the
+		// free list fills early; sizing it up front beats growing it.
+		queues:    make(map[Tag]*packetHeap),
+		freeHeaps: make([]*packetHeap, 0, 8),
+	}
+	words := (len(rings) + 63) / 64
+	if words <= len(ib.activeInline) {
+		ib.active = ib.activeInline[:words]
+	} else {
+		ib.active = make([]atomic.Uint64, words)
+	}
+	if slab != nil {
+		for i := range rings {
+			rings[i].buf = slab[i*ringCap : (i+1)*ringCap : (i+1)*ringCap]
+		}
+	}
 	return ib
 }
 
-// Push enqueues p and wakes the blocked receiver if one is parked. The
-// waiting flag is only ever set under ib.mu by WaitPop (which re-checks
-// the queue before parking), so observing it under the same lock here
-// makes the signal-elision safe: a receiver either sees this packet on
-// its pre-park check or has already published waiting=true. The owning
-// rank is the only cond waiter in normal operation, so Signal suffices;
-// poison keeps Broadcast for the shutdown path.
+// Push enqueues p on the channel of its source rank. Steady state is
+// lock-free and allocation-free: assign the channel sequence, write the
+// slot, publish with a tail store, set the channel's active bit, and
+// wake the receiver only if it is parked. A full ring diverts to the
+// channel's overflow list under its mutex. Push must only be called by
+// the goroutine running rank p.Src.
+//
+//ygm:hotpath
 func (ib *Inbox) Push(p *Packet) {
-	ib.mu.Lock()
-	p.seq = ib.seq
-	ib.seq++
-	q, ok := ib.queues[p.Tag]
-	if !ok {
+	// Everything needed after publication is read before it: the moment
+	// the tail store (or the overflow unlock) makes p visible, the
+	// consumer may absorb, deliver, and recycle it.
+	src := uint64(p.Src)
+	r := &ib.rings[src]
+	p.seq = r.seq
+	r.seq++
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t-h < ringCap {
+		if r.buf == nil {
+			// First push on a lazily-sized channel: the slot array is
+			// published to the consumer by the tail store below.
+			r.buf = make([]*Packet, ringCap) //ygmvet:ignore allocinloop -- once per channel, large-world lazy sizing
+		}
+		r.buf[t&ringMask] = p
+		r.tail.Store(t + 1)
+		ib.checkRingBounds(r, h, t+1)
+	} else {
+		r.ofMu.Lock()
+		r.of = append(r.of, p)
+		r.ofPushed.Add(1)
+		r.ofMu.Unlock()
+	}
+	ib.markActive(src)
+	if ib.pstate.Load() == pParked && ib.pstate.CompareAndSwap(pParked, pIdle) {
+		ib.wakeups.Add(1)
+		ib.wake <- struct{}{}
+	}
+}
+
+// markActive sets the channel's bit in the active bitmap. The pre-check
+// keeps the steady state (bit already set from a previous un-absorbed
+// push) to a single load; the CAS loop stands in for atomic Or, which
+// the module's Go version floor predates.
+func (ib *Inbox) markActive(src uint64) {
+	w := &ib.active[src>>6]
+	bit := uint64(1) << (src & 63)
+	for {
+		old := w.Load()
+		if old&bit != 0 || w.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+// absorb moves every pushed-but-unmerged packet from the rings into the
+// consumer-private per-tag heaps. Only the owning rank may call it. An
+// empty inbox costs one load per bitmap word (one word up to 64 ranks).
+//
+//ygm:hotpath
+func (ib *Inbox) absorb() {
+	for w := range ib.active {
+		if ib.active[w].Load() == 0 {
+			continue
+		}
+		set := ib.active[w].Swap(0)
+		base := w << 6
+		for set != 0 {
+			b := bits.TrailingZeros64(set)
+			set &= set - 1
+			ib.drainChannel(&ib.rings[base+b])
+		}
+	}
+	if ib.depth > ib.maxDepth {
+		ib.maxDepth = ib.depth
+	}
+}
+
+// drainChannel merges one channel's ring and overflow contents into the
+// tag heaps. The loop re-reads the ring after every overflow grab: a
+// packet observed in the overflow list was pushed after every
+// lower-sequence ring packet, so re-draining the ring before returning
+// guarantees each drain pass absorbs a prefix-closed (gap-free) range
+// of the channel sequence — the per-channel FIFO the upper layers and
+// the trace flow-arrow matcher rely on.
+func (ib *Inbox) drainChannel(r *inboxRing) {
+	for {
+		h := r.head.Load()
+		t := r.tail.Load()
+		ib.checkRingBounds(r, h, t)
+		if h != t {
+			for ; h != t; h++ {
+				slot := &r.buf[h&ringMask]
+				p := *slot
+				*slot = nil
+				ib.checkAbsorbed(r, p)
+				ib.enqueue(p)
+			}
+			r.head.Store(h)
+		}
+		if r.ofPushed.Load() == r.ofTaken {
+			ib.checkRingFlush(r)
+			return
+		}
+		r.ofMu.Lock()
+		of := r.of
+		r.of = ib.ofScratch[:0]
+		r.ofMu.Unlock()
+		for _, p := range of {
+			ib.checkAbsorbed(r, p)
+			ib.enqueue(p)
+		}
+		r.ofTaken += uint64(len(of))
+		clear(of)
+		ib.ofScratch = of[:0]
+	}
+}
+
+// enqueue inserts one absorbed packet into its tag's heap.
+func (ib *Inbox) enqueue(p *Packet) {
+	q := ib.heapFor(p.Tag)
+	if q == nil {
 		if n := len(ib.freeHeaps); n > 0 {
 			q = ib.freeHeaps[n-1]
 			ib.freeHeaps[n-1] = nil
 			ib.freeHeaps = ib.freeHeaps[:n-1]
 		} else {
-			q = &packetHeap{}
+			// Mint with room for a typical burst up front: heaps are
+			// recycled with their capacity, so growing one element at a
+			// time from nil would cost several reallocations per fresh
+			// tag before the free list warms up.
+			h := make(packetHeap, 0, 64)
+			q = &h
 		}
 		ib.queues[p.Tag] = q
+		ib.lastTag = p.Tag
+		ib.lastQ = q
 	}
-	heap.Push(q, p)
+	q.push(p)
 	ib.depth++
-	if ib.depth > ib.maxDepth {
-		ib.maxDepth = ib.depth
-	}
-	wake := ib.waiting
-	if wake {
-		ib.wakeups++
-	} else {
-		ib.suppressed++
-	}
 	ib.verify(p.Tag)
-	ib.mu.Unlock()
-	if wake {
-		ib.cond.Signal()
+}
+
+// heapFor resolves tag's heap, memoizing the last hit so single-tag
+// streaks (mailbox data) skip the map lookup. Returns nil when the tag
+// has no queued packets.
+func (ib *Inbox) heapFor(tag Tag) *packetHeap {
+	if tag == ib.lastTag && ib.lastQ != nil {
+		return ib.lastQ
+	}
+	q, ok := ib.queues[tag]
+	if !ok {
+		return nil
+	}
+	ib.lastTag = tag
+	ib.lastQ = q
+	return q
+}
+
+// popTag removes the merge minimum under tag, or returns nil.
+func (ib *Inbox) popTag(tag Tag) *Packet {
+	q := ib.heapFor(tag)
+	if q == nil || len(*q) == 0 {
+		return nil
+	}
+	return ib.pop(tag, q)
+}
+
+// pop removes the heap minimum under tag, maintaining depth/pop
+// accounting and retiring the queue to the free list when it empties.
+// q is tag's non-empty heap.
+func (ib *Inbox) pop(tag Tag, q *packetHeap) *Packet {
+	ib.depth--
+	ib.pops.Add(1)
+	p := q.popMin()
+	ib.verify(tag)
+	if len(*q) == 0 {
+		ib.releaseEmpty(tag, q)
+	}
+	return p
+}
+
+// releaseEmpty unmaps tag's emptied heap and keeps a few around for
+// reuse.
+func (ib *Inbox) releaseEmpty(tag Tag, q *packetHeap) {
+	delete(ib.queues, tag)
+	if ib.lastQ == q {
+		ib.lastQ = nil
+	}
+	if len(ib.freeHeaps) < 8 {
+		ib.freeHeaps = append(ib.freeHeaps, q)
 	}
 }
 
 // WaitPop blocks until a packet with the given tag is present, then
-// removes and returns the one with the earliest virtual arrival. It
-// returns nil only after the inbox has been poisoned by the deadlock
+// removes and returns the one with the earliest virtual arrival. The
+// wait is adaptive: re-absorb and yield up to parkSpins times (cheap
+// when the producer is about to publish), then publish the parked state
+// and sleep on the wake channel until a producer posts its one token.
+// It returns nil only after the inbox has been poisoned by the deadlock
 // watchdog; Proc.Recv turns that into a per-rank state dump.
 func (ib *Inbox) WaitPop(tag Tag) *Packet {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
+	ib.absorb()
+	if p := ib.popTag(tag); p != nil {
+		return p
+	}
+	if ib.poisoned.Load() {
+		return nil
+	}
+	ib.waitTag.Store(uint64(tag))
+	spins := 0
 	for {
-		if q, ok := ib.queues[tag]; ok && q.Len() > 0 {
-			p := ib.popLocked(tag, q)
+		ib.absorb()
+		if p := ib.popTag(tag); p != nil {
+			ib.spinHits++
 			return p
 		}
-		if ib.poisoned {
+		if ib.poisoned.Load() {
 			return nil
 		}
-		ib.waiting = true
-		ib.waitTag = tag
-		ib.cond.Wait()
-		ib.waiting = false
+		if spins < parkSpins {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		if ib.wake == nil {
+			ib.wake = make(chan struct{}, 1)
+		}
+		ib.pstate.Store(pParked)
+		ib.waiting.Store(true)
+		// Re-check after publishing pParked: a producer that pushed
+		// before observing the parked state is now visible here, and
+		// one that pushes later will observe pParked and send the
+		// token. Sequentially consistent atomics rule out the window
+		// where both sides miss each other.
+		ib.absorb()
+		if p := ib.popTag(tag); p != nil {
+			ib.unpark()
+			ib.spinHits++
+			return p
+		}
+		if ib.poisoned.Load() {
+			ib.unpark()
+			return nil
+		}
+		ib.parks++
+		<-ib.wake
+		ib.waiting.Store(false)
+		spins = 0
+	}
+}
+
+// unpark retracts a published park after the pre-sleep recheck found
+// data (or poison). If a producer already won the pParked→pIdle CAS it
+// has sent — or is about to send — exactly one token; consume it so a
+// future park cannot wake spuriously.
+func (ib *Inbox) unpark() {
+	ib.waiting.Store(false)
+	if !ib.pstate.CompareAndSwap(pParked, pIdle) {
+		<-ib.wake
 	}
 }
 
@@ -133,67 +535,41 @@ func (ib *Inbox) WaitPop(tag Tag) *Packet {
 // callers that are already waiting (mailbox drains) use it and then
 // fast-forward their clock to the packet's arrival.
 func (ib *Inbox) TryPop(tag Tag) *Packet {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
-	if q, ok := ib.queues[tag]; ok && q.Len() > 0 {
-		return ib.popLocked(tag, q)
-	}
-	return nil
+	ib.absorb()
+	return ib.popTag(tag)
 }
 
 // TryPopArrived removes and returns the earliest packet with the given
 // tag whose virtual arrival is at or before now. It returns nil if the
 // queue is empty or the earliest packet is still in virtual flight —
 // polling never makes a rank wait.
+//
+//ygm:hotpath
 func (ib *Inbox) TryPopArrived(tag Tag, now float64) *Packet {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
-	q, ok := ib.queues[tag]
-	if !ok || q.Len() == 0 || (*q)[0].Arrive > now {
+	ib.absorb()
+	q := ib.heapFor(tag)
+	if q == nil || len(*q) == 0 || (*q)[0].Arrive > now {
 		return nil
 	}
-	return ib.popLocked(tag, q)
-}
-
-// popLocked removes the heap minimum under tag, maintaining depth/pop
-// accounting and retiring the queue to the free list when it empties.
-// Caller holds ib.mu and guarantees q is tag's non-empty queue.
-func (ib *Inbox) popLocked(tag Tag, q *packetHeap) *Packet {
-	ib.depth--
-	ib.pops++
-	p := heap.Pop(q).(*Packet)
-	ib.verify(tag)
-	if q.Len() == 0 {
-		ib.releaseEmpty(tag, q)
-	}
-	return p
-}
-
-// releaseEmpty unmaps tag's emptied queue and keeps a few around for
-// reuse by Push. Caller holds ib.mu.
-func (ib *Inbox) releaseEmpty(tag Tag, q *packetHeap) {
-	delete(ib.queues, tag)
-	if len(ib.freeHeaps) < 8 {
-		ib.freeHeaps = append(ib.freeHeaps, q)
-	}
+	return ib.pop(tag, q)
 }
 
 // DrainInto removes every physically present packet under tag, appending
-// them to dst in virtual-arrival order, under a single lock acquisition.
-// It ignores virtual time, like TryPop; callers absorb each packet as
-// they consume it.
+// them to dst in virtual-arrival order, after a single absorb pass. It
+// ignores virtual time, like TryPop; callers absorb each packet's clock
+// cost as they consume it.
 func (ib *Inbox) DrainInto(tag Tag, dst []*Packet) []*Packet {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
-	q, ok := ib.queues[tag]
-	if !ok || q.Len() == 0 {
+	ib.absorb()
+	q := ib.heapFor(tag)
+	if q == nil || len(*q) == 0 {
 		return dst
 	}
-	for q.Len() > 0 {
-		ib.depth--
-		ib.pops++
-		dst = append(dst, heap.Pop(q).(*Packet))
+	n := len(*q)
+	for i := 0; i < n; i++ {
+		dst = append(dst, q.popMin())
 	}
+	ib.depth -= n
+	ib.pops.Add(uint64(n))
 	ib.verify(tag)
 	ib.releaseEmpty(tag, q)
 	return dst
@@ -202,50 +578,92 @@ func (ib *Inbox) DrainInto(tag Tag, dst []*Packet) []*Packet {
 // progress returns a counter that increases with every push and pop —
 // the watchdog's signal that the run is still moving. blocked reports
 // whether the owning rank is parked in WaitPop, and on which tag.
+// Safe to call from the watchdog goroutine.
 func (ib *Inbox) progress() (count uint64, blocked bool, tag Tag) {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
-	return ib.seq + ib.pops, ib.waiting, ib.waitTag
+	var pushes uint64
+	for i := range ib.rings {
+		r := &ib.rings[i]
+		pushes += r.tail.Load() + r.ofPushed.Load()
+	}
+	return pushes + ib.pops.Load(), ib.waiting.Load(), Tag(ib.waitTag.Load())
 }
 
-// poison wakes a blocked receiver and makes all future WaitPop calls
-// return nil. Called by the deadlock watchdog only.
+// poison makes all future WaitPop calls return nil and wakes the
+// receiver if one is parked. Called by the deadlock watchdog only. The
+// unpark CAS is the same protocol producers use, so poison and Push
+// can never both owe a token for one park.
 func (ib *Inbox) poison() {
-	ib.mu.Lock()
-	ib.poisoned = true
-	ib.mu.Unlock()
-	ib.cond.Broadcast()
+	ib.poisoned.Store(true)
+	if ib.pstate.CompareAndSwap(pParked, pIdle) {
+		ib.wake <- struct{}{}
+	}
 }
 
-// Len returns the number of packets currently queued across all tags.
+// Len returns the number of packets currently queued across all tags,
+// including pushed-but-unabsorbed ring and overflow occupancy. Exact
+// only from the owning rank or when producers are quiescent (both true
+// for its callers: deadlock dumps and post-run accounting).
 func (ib *Inbox) Len() int {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
-	return ib.depth
+	n := ib.depth
+	for i := range ib.rings {
+		r := &ib.rings[i]
+		n += int(r.tail.Load()-r.head.Load()) + int(r.ofPushed.Load()-r.ofTaken)
+	}
+	return n
 }
 
-// LenTag returns the number of packets queued under one tag.
+// LenTag returns the number of packets queued under one tag. Owning
+// rank only (it absorbs).
 func (ib *Inbox) LenTag(tag Tag) int {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
-	if q, ok := ib.queues[tag]; ok {
-		return q.Len()
+	ib.absorb()
+	if q := ib.heapFor(tag); q != nil {
+		return len(*q)
 	}
 	return 0
 }
 
-// MaxDepth returns the historical maximum of queued packets.
-func (ib *Inbox) MaxDepth() int {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
-	return ib.maxDepth
+// LenTags returns the total queued under several tags in one absorb
+// pass — the round-exchange idle loop polls all stage streams at once.
+// The slice parameter (not variadic) lets callers reuse a scratch
+// buffer without a per-call allocation.
+func (ib *Inbox) LenTags(tags []Tag) int {
+	ib.absorb()
+	n := 0
+	for _, tag := range tags {
+		if q := ib.heapFor(tag); q != nil {
+			n += len(*q)
+		}
+	}
+	return n
 }
 
-// WakeStats returns push accounting: how many pushes the inbox has seen,
-// how many signalled a parked receiver, and how many elided the signal
-// because nobody was waiting. pushes == wakeups + suppressed.
+// MaxDepth returns the historical maximum of merged packets, measured
+// after each absorb pass. Owning rank or post-run only.
+func (ib *Inbox) MaxDepth() int { return ib.maxDepth }
+
+// WakeStats returns push accounting: how many pushes the inbox has
+// seen, how many signalled a parked receiver, and how many elided the
+// signal because nobody was waiting. pushes == wakeups + suppressed.
+// Exact when producers are quiescent (post-run accounting).
 func (ib *Inbox) WakeStats() (pushes, wakeups, suppressed uint64) {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
-	return ib.wakeups + ib.suppressed, ib.wakeups, ib.suppressed
+	for i := range ib.rings {
+		r := &ib.rings[i]
+		pushes += r.tail.Load() + r.ofPushed.Load()
+	}
+	wakeups = ib.wakeups.Load()
+	return pushes, wakeups, pushes - wakeups
+}
+
+// SpinParkStats returns how many blocking receives were satisfied while
+// spinning versus how many parked on the wake channel. Owning rank or
+// post-run only.
+func (ib *Inbox) SpinParkStats() (spinHits, parks uint64) {
+	return ib.spinHits, ib.parks
+}
+
+// ringOccupancy reports one channel's unabsorbed ring and overflow
+// counts; machine.Rank keys the channel by source. Test/debug helper.
+func (ib *Inbox) ringOccupancy(src machine.Rank) (ring, overflow int) {
+	r := &ib.rings[src]
+	return int(r.tail.Load() - r.head.Load()), int(r.ofPushed.Load() - r.ofTaken)
 }

@@ -1,0 +1,105 @@
+//go:build ygmcheck
+
+package transport
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fixtures for the ygmcheck ring audit (`go test -tags ygmcheck`).
+// Default-build tests prove packets come out correctly; these prove the
+// assertion layer itself — that a legitimate overflow-heavy workload
+// passes the per-channel sequence audit with the opt-in monotone-clock
+// check armed, and that the audit actually fires on a seeded sequence
+// gap and on a seeded clock regression. An assertion that cannot fail
+// verifies nothing.
+
+// mustCheckPanic runs fn and requires it to panic with a ygmcheck
+// message containing substr.
+func mustCheckPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected ygmcheck panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+// TestCheckRingOverflowFixture drives one channel through repeated
+// ring-overflow cycles with checkMonotone armed: every absorb pass runs
+// the gap-free sequence audit plus the arrival-clock check, and the
+// fixture's strictly increasing arrivals must satisfy both. Three
+// bursts make the overflow scratch-array rotation turn over at least
+// twice.
+func TestCheckRingOverflowFixture(t *testing.T) {
+	const burst = ringCap*2 + 3 // ring full + overflow engaged every burst
+	ib := NewInbox(1)
+	ib.checkMonotone = true
+	arrive := 0.0
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < burst; i++ {
+			arrive++
+			ib.Push(&Packet{Tag: TagUser, Arrive: arrive})
+		}
+		ring, overflow := ib.ringOccupancy(0)
+		if ring != ringCap || overflow != burst-ringCap {
+			t.Fatalf("cycle %d: ring=%d overflow=%d, want %d/%d", cycle, ring, overflow, ringCap, burst-ringCap)
+		}
+		for i := 0; i < burst; i++ {
+			if p := ib.TryPop(TagUser); p == nil {
+				t.Fatalf("cycle %d: lost packet %d", cycle, i)
+			}
+		}
+		if ib.TryPop(TagUser) != nil {
+			t.Fatalf("cycle %d: duplicate packet", cycle)
+		}
+	}
+	if c, ok := ib.checkRings[&ib.rings[0]]; !ok || c.seq != 3*burst {
+		t.Fatalf("audit state did not track the channel sequence: %+v", c)
+	}
+}
+
+// TestCheckDetectsSequenceGap seeds a lost packet by advancing the
+// producer-side channel sequence without publishing a packet for it.
+// The next absorb pass must fail the gap-free audit — the check that
+// turns a silently dropped packet into a loud panic.
+func TestCheckDetectsSequenceGap(t *testing.T) {
+	ib := NewInbox(1)
+	ib.Push(&Packet{Tag: TagUser, Arrive: 1})
+	ib.rings[0].seq++ // the packet that should have carried seq 1 is never pushed
+	ib.Push(&Packet{Tag: TagUser, Arrive: 2})
+	mustCheckPanic(t, "sequence gap", func() { ib.TryPop(TagUser) })
+}
+
+// TestCheckDetectsArrivalRegression arms checkMonotone and feeds a
+// channel an arrival clock that runs backwards across two absorb
+// passes. The audit must reject it; without the opt-in flag the same
+// traffic must pass (variable-size traffic may legitimately reorder
+// arrivals, which is why the clock check is fixture-only).
+func TestCheckDetectsArrivalRegression(t *testing.T) {
+	ib := NewInbox(1)
+	ib.checkMonotone = true
+	ib.Push(&Packet{Tag: TagUser, Arrive: 5})
+	if p := ib.TryPop(TagUser); p == nil || p.Arrive != 5 {
+		t.Fatalf("first pop = %v", p)
+	}
+	ib.Push(&Packet{Tag: TagUser, Arrive: 1}) // later seq, earlier clock
+	mustCheckPanic(t, "arrival clock ran backwards", func() { ib.TryPop(TagUser) })
+
+	relaxed := NewInbox(1)
+	relaxed.Push(&Packet{Tag: TagUser, Arrive: 5})
+	if p := relaxed.TryPop(TagUser); p == nil {
+		t.Fatal("lost packet")
+	}
+	relaxed.Push(&Packet{Tag: TagUser, Arrive: 1})
+	if p := relaxed.TryPop(TagUser); p == nil || p.Arrive != 1 {
+		t.Fatalf("relaxed inbox rejected legitimate out-of-clock traffic: %v", p)
+	}
+}

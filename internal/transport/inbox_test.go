@@ -4,10 +4,12 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"ygm/internal/machine"
 )
 
 func TestInboxPushPopOrder(t *testing.T) {
-	ib := NewInbox()
+	ib := NewInbox(1)
 	// Push arrivals out of order; pops must come back sorted.
 	for _, a := range []float64{5, 1, 3, 2, 4} {
 		ib.Push(&Packet{Tag: TagUser, Arrive: a})
@@ -29,7 +31,7 @@ func TestInboxPushPopOrder(t *testing.T) {
 }
 
 func TestInboxEqualArrivalIsFIFO(t *testing.T) {
-	ib := NewInbox()
+	ib := NewInbox(1)
 	for i := 0; i < 10; i++ {
 		ib.Push(&Packet{Tag: TagUser, Arrive: 1.0, Payload: []byte{byte(i)}})
 	}
@@ -42,7 +44,7 @@ func TestInboxEqualArrivalIsFIFO(t *testing.T) {
 }
 
 func TestInboxTagIsolation(t *testing.T) {
-	ib := NewInbox()
+	ib := NewInbox(1)
 	ib.Push(&Packet{Tag: TagUser, Arrive: 1})
 	ib.Push(&Packet{Tag: TagData, Arrive: 2})
 	if ib.LenTag(TagUser) != 1 || ib.LenTag(TagData) != 1 || ib.Len() != 2 {
@@ -60,7 +62,7 @@ func TestInboxTagIsolation(t *testing.T) {
 }
 
 func TestInboxTryPopArrived(t *testing.T) {
-	ib := NewInbox()
+	ib := NewInbox(1)
 	ib.Push(&Packet{Tag: TagUser, Arrive: 10})
 	if ib.TryPopArrived(TagUser, 5) != nil {
 		t.Fatal("packet in virtual flight must not be polled")
@@ -71,7 +73,7 @@ func TestInboxTryPopArrived(t *testing.T) {
 }
 
 func TestInboxWaitPopBlocks(t *testing.T) {
-	ib := NewInbox()
+	ib := NewInbox(1)
 	done := make(chan *Packet)
 	go func() { done <- ib.WaitPop(TagUser) }()
 	ib.Push(&Packet{Tag: TagUser, Arrive: 7})
@@ -80,19 +82,24 @@ func TestInboxWaitPopBlocks(t *testing.T) {
 	}
 }
 
+// TestInboxConcurrentPushers exercises the SPSC contract at full width:
+// one producer goroutine per source channel (the structural guarantee
+// the transport provides — each rank is one goroutine), all bursting
+// far past the ring capacity so every channel takes the overflow
+// fallback, while Len/ordering/MaxDepth accounting must stay exact.
 func TestInboxConcurrentPushers(t *testing.T) {
-	ib := NewInbox()
 	const pushers, each = 8, 200
+	ib := NewInbox(pushers)
 	var wg sync.WaitGroup
 	for i := 0; i < pushers; i++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(src int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed))
+			rng := rand.New(rand.NewSource(int64(src)))
 			for j := 0; j < each; j++ {
-				ib.Push(&Packet{Tag: TagUser, Arrive: rng.Float64()})
+				ib.Push(&Packet{Src: machine.Rank(src), Tag: TagUser, Arrive: rng.Float64()})
 			}
-		}(int64(i))
+		}(i)
 	}
 	wg.Wait()
 	if ib.Len() != pushers*each {
@@ -108,5 +115,38 @@ func TestInboxConcurrentPushers(t *testing.T) {
 	}
 	if ib.MaxDepth() != pushers*each {
 		t.Fatalf("max depth = %d", ib.MaxDepth())
+	}
+}
+
+// TestInboxOverflowFallback pins the ring→overflow transition on one
+// channel: pushes past ringCap must land in the overflow list (capacity
+// stays unbounded), absorb must deliver ring and overflow contents
+// gap-free, and the drained ring must be reusable afterwards.
+func TestInboxOverflowFallback(t *testing.T) {
+	const total = ringCap * 3
+	ib := NewInbox(1)
+	for i := 0; i < total; i++ {
+		ib.Push(&Packet{Tag: TagUser, Arrive: float64(i)})
+	}
+	ring, overflow := ib.ringOccupancy(0)
+	if ring != ringCap {
+		t.Fatalf("ring occupancy = %d, want full ring %d", ring, ringCap)
+	}
+	if overflow != total-ringCap {
+		t.Fatalf("overflow occupancy = %d, want %d", overflow, total-ringCap)
+	}
+	for i := 0; i < total; i++ {
+		p := ib.TryPop(TagUser)
+		if p == nil || p.Arrive != float64(i) {
+			t.Fatalf("pop %d = %v, want arrive %d", i, p, i)
+		}
+	}
+	// The drained channel must accept a fresh burst through the ring.
+	ib.Push(&Packet{Tag: TagUser, Arrive: 1000})
+	if ring, overflow = ib.ringOccupancy(0); ring != 1 || overflow != 0 {
+		t.Fatalf("post-drain push landed ring=%d overflow=%d, want 1/0", ring, overflow)
+	}
+	if p := ib.TryPop(TagUser); p == nil || p.Arrive != 1000 {
+		t.Fatalf("post-drain pop = %v", p)
 	}
 }

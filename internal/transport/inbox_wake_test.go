@@ -12,7 +12,7 @@ import (
 // unconditional-broadcast bug: pushes with no parked receiver must not
 // signal, and the wake accounting must say so.
 func TestPushNoWaiterElidesSignal(t *testing.T) {
-	ib := NewInbox()
+	ib := NewInbox(1)
 	for i := 0; i < 5; i++ {
 		ib.Push(&Packet{Tag: TagUser, Arrive: float64(i)})
 	}
@@ -31,7 +31,7 @@ func TestPushNoWaiterElidesSignal(t *testing.T) {
 // receiver parked in WaitPop is signalled by the next push — the elision
 // cannot turn into a missed wakeup — and the wake is counted.
 func TestPushWakesParkedReceiver(t *testing.T) {
-	ib := NewInbox()
+	ib := NewInbox(1)
 	got := make(chan *Packet, 1)
 	go func() { got <- ib.WaitPop(TagUser) }()
 	// Wait until the receiver has published its parked state.

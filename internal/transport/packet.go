@@ -39,7 +39,11 @@ type Packet struct {
 	Arrive  float64 // virtual arrival time at the destination, seconds
 	Payload []byte
 
-	seq uint64 // tie-breaker for deterministic ordering at equal Arrive
+	// seq is the packet's position in its src→dst channel's push order,
+	// assigned by Inbox.Push. It breaks arrival-time ties (together with
+	// Src) deterministically and lets the ygmcheck layer audit that ring
+	// drains absorb every channel gap-free.
+	seq uint64
 
 	// pooled marks a payload obtained from Proc.AcquireBuf and sent via
 	// Proc.SendPooled; Recycle returns such payloads to the world pool.

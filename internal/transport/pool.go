@@ -20,6 +20,19 @@ type bufPool struct {
 // memory forever; overflow simply falls back to the garbage collector.
 const poolKeep = 1024
 
+// poolSeed is the initial capacity of each free list. Both lists churn
+// from the first exchange on, so growing them from nil costs a dozen
+// reallocations per run; seeding skips those for the common population
+// while staying far under poolKeep.
+const poolSeed = 128
+
+// init gives both free lists their initial capacity. Called once per
+// World before any rank runs.
+func (bp *bufPool) init() {
+	bp.bufs = make([][]byte, 0, poolSeed)
+	bp.pkts = make([]*Packet, 0, poolSeed)
+}
+
 // getBuf returns a length-n buffer, reusing pooled storage when a
 // buffer with sufficient capacity is available.
 func (bp *bufPool) getBuf(n int) []byte {

@@ -263,6 +263,13 @@ func (p *Proc) Pending(tag Tag) int {
 	return p.world.inboxes[p.rank].LenTag(tag)
 }
 
+// PendingTags reports the total queued under all the given tags in a
+// single inbox pass. Callers polling several streams in an idle loop
+// (the round exchange's stage tags) should reuse one scratch slice.
+func (p *Proc) PendingTags(tags []Tag) int {
+	return p.world.inboxes[p.rank].LenTags(tags)
+}
+
 // absorb applies arrival wait and receive overhead accounting for pkt.
 func (p *Proc) absorb(pkt *Packet) {
 	if jump := pkt.Arrive - p.clock.Now(); jump > 50e-6 {

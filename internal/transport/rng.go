@@ -1,0 +1,34 @@
+package transport
+
+// rngSource is the per-rank deterministic random source: splitmix64,
+// seeded in O(1). The stdlib's default source burns ~600 feedback-table
+// iterations (and ~5KB) per seeding, which dominated world construction
+// for short simulated runs — every rank of every Run seeds one source.
+// splitmix64 passes BigCrush, is a single add + three xor-multiply
+// rounds per draw, and keeps the determinism contract: equal seeds give
+// equal streams.
+type rngSource struct {
+	state uint64
+}
+
+func newRngSource(seed int64) *rngSource {
+	return &rngSource{state: uint64(seed)}
+}
+
+// Uint64 advances the splitmix64 stream (Steele, Lea & Flood's
+// finalizer constants).
+func (s *rngSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *rngSource) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+func (s *rngSource) Seed(seed int64) {
+	s.state = uint64(seed)
+}

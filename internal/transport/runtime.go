@@ -196,8 +196,22 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 	if so, ok := cfg.Trace.(SpanObserver); ok {
 		w.spanObs = so
 	}
+	w.pool.init()
+	// All inboxes share two world-sized slabs — P² ring headers and (for
+	// slab-eligible worlds) P²·ringCap packet slots — so inbox setup is
+	// a handful of allocations per world rather than several per rank.
+	ringSlab := make([]inboxRing, size*size)
+	var slotSlab []*Packet
+	if size <= ringSlabWorlds {
+		slotSlab = make([]*Packet, size*size*ringCap)
+	}
 	for i := range w.inboxes {
-		w.inboxes[i] = NewInbox()
+		rings := ringSlab[i*size : (i+1)*size : (i+1)*size]
+		var slots []*Packet
+		if slotSlab != nil {
+			slots = slotSlab[i*size*ringCap : (i+1)*size*ringCap]
+		}
+		w.inboxes[i] = newInboxFrom(rings, slots)
 	}
 	w.dead = make([]*RankDeadState, size)
 	w.active.Store(int64(size))
@@ -222,7 +236,7 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 			p := &Proc{
 				world:        w,
 				rank:         r,
-				rng:          rand.New(rand.NewSource(cfg.Seed*1000003 + int64(r))),
+				rng:          rand.New(newRngSource(cfg.Seed*1000003 + int64(r))),
 				computeScale: 1,
 				metrics:      obs.NewRegistry(),
 			}
@@ -264,6 +278,9 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 				p.metrics.Counter("inbox.pushes").Add(pushes)
 				p.metrics.Counter("inbox.wakeups").Add(wakeups)
 				p.metrics.Counter("inbox.wakeups_suppressed").Add(suppressed)
+				spinHits, parks := w.inboxes[r].SpinParkStats()
+				p.metrics.Counter("inbox.spin_hits").Add(spinHits)
+				p.metrics.Counter("inbox.parks").Add(parks)
 				p.metrics.Gauge("inbox.max_depth").Set(float64(w.inboxes[r].MaxDepth()))
 				report.Ranks[r] = RankReport{
 					Rank:          r,

@@ -199,6 +199,8 @@ type Mailbox struct {
 	opts    Options
 	handler Handler
 	stats   Stats
+	// cost caches the model scalars charged per dispatched record.
+	cost recordCost
 
 	// router is the precomputed next-hop table for this rank.
 	router *machine.Router
@@ -236,6 +238,7 @@ func newLazy(p *transport.Proc, handler Handler, opts Options) *Mailbox {
 		p:       p,
 		opts:    opts.withDefaults(),
 		handler: handler,
+		cost:    newRecordCost(p.Model()),
 	}
 	topo := p.Topo()
 	mb.router = topo.NewRouter(mb.opts.Scheme, p.Rank())
@@ -477,7 +480,7 @@ func (mb *Mailbox) processPacket(pkt *transport.Packet) {
 		// Per-record handling is a few nanoseconds plus a memcpy; the
 		// per-message overhead was already charged when the packet was
 		// received. Coalescing amortizes exactly this difference.
-		mb.p.Compute(mb.p.Model().RecordHandlingTime(len(rec.payload)))
+		mb.p.Compute(mb.cost.handling(len(rec.payload)))
 		mb.dispatch(rec)
 	}
 	mb.processing--
@@ -539,7 +542,7 @@ func (mb *Mailbox) deliver(payload []byte) {
 		return
 	}
 	mb.stats.Delivered++
-	mb.p.Compute(mb.p.Model().ComputePerMessage)
+	mb.p.Compute(mb.cost.perMsg)
 	if mb.opts.CopyOnDeliver {
 		c := make([]byte, len(payload)) //ygmvet:ignore allocinloop -- opt-in retain-safety copy; off on the default path
 		copy(c, payload)

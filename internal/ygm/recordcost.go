@@ -1,0 +1,30 @@
+package ygm
+
+import "ygm/internal/netsim"
+
+// recordCost caches the cost-model constants the per-record dispatch
+// loops charge. RecordHandlingTime has a value receiver, so calling it
+// through Proc.Model copies the whole struct once per record; the
+// scalars below are all the loops need. The bandwidth term is cached as
+// a reciprocal so the per-record charge is one multiply instead of one
+// divide — the result can differ from Model.RecordHandlingTime in the
+// last ulp, which is far below the fidelity of the cost model itself.
+type recordCost struct {
+	overhead float64 // Model.RecordOverhead
+	invBW    float64 // 1 / Model.LocalBandwidth
+	perMsg   float64 // Model.ComputePerMessage
+}
+
+func newRecordCost(m *netsim.Model) recordCost {
+	return recordCost{
+		overhead: m.RecordOverhead,
+		invBW:    1 / m.LocalBandwidth,
+		perMsg:   m.ComputePerMessage,
+	}
+}
+
+// handling mirrors netsim.Model.RecordHandlingTime (to within one ulp;
+// see the reciprocal note above).
+func (c recordCost) handling(bytes int) float64 {
+	return c.overhead + float64(bytes)*c.invBW
+}

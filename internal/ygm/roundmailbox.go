@@ -66,6 +66,8 @@ type RoundMailbox struct {
 	opts    Options
 	handler Handler
 	stats   Stats
+	// cost caches the model scalars charged per dispatched record.
+	cost recordCost
 
 	stages []roundStage
 	round  uint64 // next round to execute
@@ -75,6 +77,11 @@ type RoundMailbox struct {
 	// inRoundStage is the stage currently being processed (-1 outside a
 	// round); records dispatched to stages <= it wait for the next round.
 	inRoundStage int
+
+	// tagScratch reuses one slice for the per-stage tag list that the
+	// WaitEmpty idle loop polls, so the poll makes a single inbox pass
+	// per iteration without allocating.
+	tagScratch []transport.Tag
 
 	term termDetector
 }
@@ -118,6 +125,7 @@ func NewRound(p *transport.Proc, handler Handler, opts Options) (*RoundMailbox, 
 		p:            p,
 		opts:         opts.withDefaults(),
 		handler:      handler,
+		cost:         newRecordCost(p.Model()),
 		inRoundStage: -1,
 	}
 	topo := p.Topo()
@@ -163,6 +171,7 @@ func NewRound(p *transport.Proc, handler Handler, opts Options) (*RoundMailbox, 
 	for s := range mb.stages {
 		mb.stages[s].initSlots(topo, me)
 	}
+	mb.tagScratch = make([]transport.Tag, 0, len(mb.stages))
 	mb.term.init(p, &mb.stats)
 	mb.term.hooks = mb.opts.Hooks
 	return mb, nil
@@ -293,6 +302,9 @@ func (mb *RoundMailbox) enqueue(hop machine.Rank, kind recordKind, dst machine.R
 	if nextRound {
 		b = &st.next[i]
 	}
+	if b.count == 0 {
+		b.w.Arm(coalesceArmBytes)
+	}
 	appendRecord(&b.w, kind, dst, payload)
 	b.count++
 	mb.queued++
@@ -354,7 +366,7 @@ func (mb *RoundMailbox) executeRound() {
 					panic(fmt.Sprintf("ygm: corrupt round payload: %v", err))
 				}
 				mb.stats.HopsRecv++
-				mb.p.Compute(mb.p.Model().RecordHandlingTime(len(rec.payload)))
+				mb.p.Compute(mb.cost.handling(len(rec.payload)))
 				mb.dispatch(rec)
 			}
 			mb.p.Recycle(pkt)
@@ -424,7 +436,7 @@ func (mb *RoundMailbox) deliver(payload []byte) {
 		return
 	}
 	mb.stats.Delivered++
-	mb.p.Compute(mb.p.Model().ComputePerMessage)
+	mb.p.Compute(mb.cost.perMsg)
 	if mb.opts.CopyOnDeliver {
 		c := make([]byte, len(payload)) //ygmvet:ignore allocinloop -- opt-in retain-safety copy; off on the default path
 		copy(c, payload)
@@ -434,14 +446,15 @@ func (mb *RoundMailbox) deliver(payload []byte) {
 }
 
 // roundTrafficPending reports whether any partner has initiated the
-// upcoming round (its stage messages are waiting in our inbox).
+// upcoming round (its stage messages are waiting in our inbox). All
+// stage tags are checked in one inbox pass via PendingTags.
 func (mb *RoundMailbox) roundTrafficPending() bool {
+	tags := mb.tagScratch[:0]
 	for s := range mb.stages {
-		if mb.p.Pending(roundTag(mb.epoch, s, mb.round)) > 0 {
-			return true
-		}
+		tags = append(tags, roundTag(mb.epoch, s, mb.round))
 	}
-	return false
+	mb.tagScratch = tags
+	return mb.p.PendingTags(tags) > 0
 }
 
 // WaitEmpty drives rounds (with empty buffers when this rank has nothing

@@ -46,6 +46,13 @@ func (hs *hopSlots) init(topo machine.Topology, me machine.Rank, partners []mach
 	hs.active = make([]int32, 0, len(partners))
 }
 
+// coalesceArmBytes is the storage each coalescing slot is armed with
+// when it takes its first record: roughly one flush's worth for typical
+// record sizes, claimed in a single allocation instead of letting the
+// first fill double its way up from empty. Slots keep their storage
+// across flushes, so arming is a capacity check after warmup.
+const coalesceArmBytes = 256
+
 // buf returns hop's slot, marking it active on its first record since
 // the last flush, or nil when hop lies outside the partner universe.
 //
@@ -58,6 +65,7 @@ func (hs *hopSlots) buf(hop machine.Rank) *hopBuf {
 	b := &hs.slots[i]
 	if b.count == 0 {
 		hs.active = append(hs.active, i)
+		b.w.Arm(coalesceArmBytes)
 	}
 	return b
 }

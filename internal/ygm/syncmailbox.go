@@ -28,6 +28,8 @@ type SyncMailbox struct {
 	opts    Options
 	handler Handler
 	stats   Stats
+	// cost caches the model scalars charged per dispatched record.
+	cost recordCost
 
 	world *collective.Comm
 	// stages is the exchange-phase sequence for the routing scheme;
@@ -101,6 +103,7 @@ func NewSync(p *transport.Proc, handler Handler, opts Options) (*SyncMailbox, er
 		p:       p,
 		opts:    opts.withDefaults(),
 		handler: handler,
+		cost:    newRecordCost(p.Model()),
 		world:   collective.World(p),
 		inStage: -1,
 	}
@@ -306,6 +309,9 @@ func (mb *SyncMailbox) push(hop machine.Rank, kind recordKind, dst machine.Rank,
 	if nextGen {
 		b = &st.next[i]
 	}
+	if b.count == 0 {
+		b.w.Arm(coalesceArmBytes)
+	}
 	appendRecord(&b.w, kind, dst, payload)
 	b.count++
 	mb.queued++
@@ -318,7 +324,7 @@ func (mb *SyncMailbox) deliver(payload []byte) {
 		return
 	}
 	mb.stats.Delivered++
-	mb.p.Compute(mb.p.Model().ComputePerMessage)
+	mb.p.Compute(mb.cost.perMsg)
 	if mb.opts.CopyOnDeliver {
 		c := make([]byte, len(payload)) //ygmvet:ignore allocinloop -- opt-in retain-safety copy; off on the default path
 		copy(c, payload)
@@ -406,7 +412,7 @@ func (d *syncDispatcher) VisitBlob(srcIndex int, blob []byte) {
 			panic(fmt.Sprintf("ygm: corrupt sync exchange payload: %v", err))
 		}
 		mb.stats.HopsRecv++
-		mb.p.Compute(mb.p.Model().RecordHandlingTime(len(rec.payload)))
+		mb.p.Compute(mb.cost.handling(len(rec.payload)))
 		mb.dispatch(rec)
 	}
 }
