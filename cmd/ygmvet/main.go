@@ -6,6 +6,8 @@
 // Usage:
 //
 //	go run ./cmd/ygmvet ./...
+//	go run ./cmd/ygmvet -sarif -o findings.sarif ./...
+//	go run ./cmd/ygmvet -json ./...
 //
 // Exit status: 0 clean, 1 findings, 2 load or usage error. The only
 // accepted package pattern is "./..." (the suite is whole-module by
@@ -15,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,30 +26,44 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	tags := flag.String("tags", "", "comma-separated build tags to apply while loading (e.g. ygmcheck)")
-	dir := flag.String("C", ".", "module root directory (must contain go.mod)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ygmvet [-tags taglist] [-C dir] [./...]\n\nAnalyzers:\n")
+// run is the testable entry point: it parses args, loads the module,
+// runs the suite, and renders findings to stdout (or -o) in the
+// selected format. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ygmvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tags := fs.String("tags", "", "comma-separated build tags to apply while loading (e.g. ygmcheck)")
+	dir := fs.String("C", ".", "module root directory (must contain go.mod)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	outPath := fs.String("o", "", "write findings to this file instead of stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ygmvet [-tags taglist] [-C dir] [-json|-sarif] [-o file] [./...]\n\nAnalyzers:\n")
 		for _, a := range analyzers.All() {
-			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-20s %s\n", a.Name, a.Doc)
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	for _, arg := range flag.Args() {
+	if *jsonOut && *sarifOut {
+		fmt.Fprintf(stderr, "ygmvet: -json and -sarif are mutually exclusive\n")
+		return 2
+	}
+	for _, arg := range fs.Args() {
 		if arg != "./..." {
-			fmt.Fprintf(os.Stderr, "ygmvet: unsupported package pattern %q (the suite is whole-module; use ./... or no argument)\n", arg)
+			fmt.Fprintf(stderr, "ygmvet: unsupported package pattern %q (the suite is whole-module; use ./... or no argument)\n", arg)
 			return 2
 		}
 	}
 
 	root, err := moduleRoot(*dir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ygmvet: %v\n", err)
+		fmt.Fprintf(stderr, "ygmvet: %v\n", err)
 		return 2
 	}
 
@@ -59,21 +76,46 @@ func run() int {
 
 	loader, err := analyzers.NewLoader(root, tagList...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ygmvet: %v\n", err)
+		fmt.Fprintf(stderr, "ygmvet: %v\n", err)
 		return 2
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ygmvet: %v\n", err)
+		fmt.Fprintf(stderr, "ygmvet: %v\n", err)
 		return 2
 	}
 
 	findings := analyzers.Run(pkgs, pkgs, analyzers.All(), analyzers.DefaultScope)
-	for _, f := range findings {
-		fmt.Println(relativize(f, root))
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "ygmvet: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+
+	switch {
+	case *jsonOut:
+		if err := analyzers.WriteJSON(out, findings, root); err != nil {
+			fmt.Fprintf(stderr, "ygmvet: %v\n", err)
+			return 2
+		}
+	case *sarifOut:
+		if err := analyzers.WriteSARIF(out, findings, root); err != nil {
+			fmt.Fprintf(stderr, "ygmvet: %v\n", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(out, relativize(f, root))
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "ygmvet: %d finding(s)\n", len(findings))
+		fmt.Fprintf(stderr, "ygmvet: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ygm/internal/analyzers"
+)
+
+// writeScratchModule creates a minimal standalone module whose only
+// finding is an unknown-name ygmvet:ignore diagnostic — enough to drive
+// the exit-1 path without depending on repo state.
+func writeScratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"a.go":   "package a\n\n//ygmvet:ignore bogusanalyzer\nfunc F() {}\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", name, err)
+		}
+	}
+	return dir
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"json-and-sarif", []string{"-json", "-sarif"}, "mutually exclusive"},
+		{"bad-pattern", []string{"./cmd/..."}, "unsupported package pattern"},
+		{"bad-flag", []string{"-nope"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Errorf("exit code = %d, want 2", code)
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestRunNoModule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", t.TempDir()}, &stdout, &stderr); code != 2 {
+		t.Errorf("exit code = %d, want 2 for a directory without go.mod", code)
+	}
+	if !strings.Contains(stderr.String(), "go.mod") {
+		t.Errorf("stderr %q does not mention go.mod", stderr.String())
+	}
+}
+
+// TestRunCleanRepo is the CI invocation in miniature: the repository
+// itself must be ygmvet-clean, exit 0, and print nothing.
+func TestRunCleanRepo(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s\nstdout:\n%s", code, stderr.String(), stdout.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", stdout.String())
+	}
+}
+
+func TestRunFindingsExitOne(t *testing.T) {
+	dir := writeScratchModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "bogusanalyzer") {
+		t.Errorf("stdout %q does not carry the diagnostic", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr %q missing the finding count", stderr.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := writeScratchModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	var out []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(out) != 1 || out[0].Analyzer != "ygmvet" || out[0].File != "a.go" || out[0].Line != 3 {
+		t.Errorf("unexpected -json payload: %+v", out)
+	}
+}
+
+func TestRunSARIFOutputToFile(t *testing.T) {
+	dir := writeScratchModule(t)
+	outFile := filepath.Join(t.TempDir(), "findings.sarif")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-sarif", "-o", outFile}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-o should leave stdout empty, got:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatalf("reading -o file: %v", err)
+	}
+	if err := analyzers.ValidateSARIF(data); err != nil {
+		t.Errorf("emitted SARIF fails validation: %v", err)
+	}
+	if !strings.Contains(string(data), "bogusanalyzer") {
+		t.Errorf("SARIF log does not carry the diagnostic")
+	}
+}

@@ -56,9 +56,24 @@ type Analyzer struct {
 	Run  func(*Pass) []Finding
 }
 
-// All returns the full analyzer suite.
+// All returns the full analyzer suite: the five syntactic checks plus
+// the flow-sensitive lifetime/escape/divergence analyzers and the
+// deprecated-shim check.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, Seedrand, Codecerr, Blockincallback, Allocinloop}
+	return []*Analyzer{
+		Wallclock, Seedrand, Codecerr, Blockincallback, Allocinloop,
+		Buflifetime, Payloadescape, Divergentcollective, Rankconfined, Deprecated,
+	}
+}
+
+// knownAnalyzerNames is the set of valid names for ygmvet:ignore
+// directives (so typos are diagnosed rather than silently ignored).
+func knownAnalyzerNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
 }
 
 // simulatedRankPkgs are the packages whose code runs on simulated ranks,
@@ -90,7 +105,8 @@ func Run(pkgs []*Package, all []*Package, analyzers []*Analyzer, scope func(anal
 	var findings []Finding
 	for _, pkg := range pkgs {
 		pass := &Pass{Pkg: pkg, All: all, Index: index}
-		sup := suppressions(pkg)
+		sup, diags := suppressions(pkg)
+		findings = append(findings, diags...)
 		for _, a := range analyzers {
 			if scope != nil && !scope(a.Name, pkg.Path) {
 				continue
@@ -138,15 +154,28 @@ func (s suppressed) match(f Finding) bool {
 	return false
 }
 
-// suppressions scans a package's comments for ygmvet:ignore directives.
-// A directive applies to its own line and to the line below it, so both
-// trailing (`code //ygmvet:ignore name`) and leading placement work.
-func suppressions(pkg *Package) suppressed {
+// suppressions scans a package's comments for ygmvet:ignore directives
+// and returns the suppression table plus diagnostics for directives
+// naming unknown analyzers. A `//` directive applies to its own line
+// and to the line below it, so both trailing (`code //ygmvet:ignore
+// name`) and leading placement work; a `/* ... */` directive covers
+// every line the comment spans plus the line after it, so block-style
+// leading comment groups work too. The scoped form `ygmvet:ignore
+// <analyzer>` (names comma- or space-separated) silences only the named
+// analyzers; a bare directive silences them all.
+func suppressions(pkg *Package) (suppressed, []Finding) {
 	s := suppressed{byLine: make(map[string]map[string]bool)}
+	var diags []Finding
+	known := knownAnalyzerNames()
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
+				text := c.Text
+				if strings.HasPrefix(text, "/*") {
+					text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+				} else {
+					text = strings.TrimPrefix(text, "//")
+				}
 				text = strings.TrimSpace(text)
 				rest, ok := strings.CutPrefix(text, "ygmvet:ignore")
 				if !ok {
@@ -159,16 +188,25 @@ func suppressions(pkg *Package) suppressed {
 					}
 				}
 				names := make(map[string]bool)
-				fields := strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+				fields := strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' || r == '\n' })
 				if len(fields) == 0 {
 					names[""] = true
 				}
 				for _, f := range fields {
 					names[f] = true
+					if !known[f] {
+						pos := pkg.Fset.Position(c.Pos())
+						diags = append(diags, Finding{
+							Pos:      pos,
+							Analyzer: "ygmvet",
+							Message:  fmt.Sprintf("ygmvet:ignore names unknown analyzer %q; the finding it meant to suppress will still be reported", f),
+						})
+					}
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+				start := pkg.Fset.Position(c.Pos())
+				end := pkg.Fset.Position(c.End())
+				for line := start.Line; line <= end.Line+1; line++ {
+					key := fmt.Sprintf("%s:%d", start.Filename, line)
 					if s.byLine[key] == nil {
 						s.byLine[key] = make(map[string]bool)
 					}
@@ -179,7 +217,7 @@ func suppressions(pkg *Package) suppressed {
 			}
 		}
 	}
-	return s
+	return s, diags
 }
 
 // FuncIndex maps function and method objects to their declarations

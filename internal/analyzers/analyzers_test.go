@@ -108,6 +108,19 @@ func TestCodecerrFixture(t *testing.T)        { runFixture(t, "codecerr", Codece
 func TestBlockincallbackFixture(t *testing.T) { runFixture(t, "blockincallback", Blockincallback) }
 func TestAllocinloopFixture(t *testing.T)     { runFixture(t, "allocinloop", Allocinloop) }
 
+func TestBuflifetimeFixture(t *testing.T)   { runFixture(t, "buflifetime", Buflifetime) }
+func TestPayloadescapeFixture(t *testing.T) { runFixture(t, "payloadescape", Payloadescape) }
+func TestDivergentcollectiveFixture(t *testing.T) {
+	runFixture(t, "divergentcollective", Divergentcollective)
+}
+func TestRankconfinedFixture(t *testing.T) { runFixture(t, "rankconfined", Rankconfined) }
+func TestDeprecatedFixture(t *testing.T)   { runFixture(t, "deprecated", Deprecated) }
+
+// TestSuppressFixture exercises the ygmvet:ignore directive forms:
+// block comments, scoped names, and the unknown-name diagnostic, with
+// the deprecated analyzer providing the findings being suppressed.
+func TestSuppressFixture(t *testing.T) { runFixture(t, "suppress", Deprecated) }
+
 // TestRepoClean pins the tree to zero findings under the production
 // scope — the same invocation CI runs through cmd/ygmvet.
 func TestRepoClean(t *testing.T) {
@@ -128,7 +141,10 @@ func TestSuiteRegistered(t *testing.T) {
 			t.Errorf("analyzer %s missing doc or run function", a.Name)
 		}
 	}
-	for _, name := range []string{"wallclock", "seedrand", "codecerr", "blockincallback", "allocinloop"} {
+	for _, name := range []string{
+		"wallclock", "seedrand", "codecerr", "blockincallback", "allocinloop",
+		"buflifetime", "payloadescape", "divergentcollective", "rankconfined", "deprecated",
+	} {
 		if !got[name] {
 			t.Errorf("analyzer %s not registered in All()", name)
 		}

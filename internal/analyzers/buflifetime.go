@@ -1,0 +1,724 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Buflifetime checks the pooled-buffer ownership protocol statically:
+// every Proc.AcquireBuf result must reach exactly one of
+// SendPooled/Recycle/Detach on every normal path, every Recv/Poll/Drain
+// packet must be recycled, and nothing may touch a buffer or packet
+// after it was sent or recycled. The analysis is flow-sensitive over the
+// function's CFG (early returns, loops, defers, nil-check refinement of
+// Poll/Drain results) and follows buffers through module helpers via
+// consume summaries. Panicking paths are excluded: a corrupt-packet
+// panic does not owe the pool anything.
+//
+// Known false negatives, by design: values stored into slices, maps or
+// struct fields stop being tracked (the analysis is variable-granular),
+// and helpers returning fresh buffers are not treated as sources.
+var Buflifetime = &Analyzer{
+	Name: "buflifetime",
+	Doc:  "flag pooled buffers and packets that leak on some path, are released twice, or are used after SendPooled/Recycle/Detach",
+	Run:  runBuflifetime,
+}
+
+// bufSource describes one buffer/packet-producing call.
+type bufSource struct {
+	kind    string // "pooled buffer" or "packet"
+	nilable bool   // Poll/Drain return nil when nothing is available
+	release string // the release verbs named in diagnostics
+}
+
+// bufSources maps pkgpath.Name of producing calls to what they produce.
+var bufSources = map[string]bufSource{
+	"ygm/internal/transport.AcquireBuf": {kind: "pooled buffer", release: "SendPooled, Recycle or Detach"},
+	"ygm/internal/codec.Detach":         {kind: "pooled buffer", release: "SendPooled, Recycle or Detach"},
+	"ygm/internal/transport.Recv":       {kind: "packet", release: "Recycle"},
+	"ygm/internal/transport.Poll":       {kind: "packet", nilable: true, release: "Recycle"},
+	"ygm/internal/transport.Drain":      {kind: "packet", nilable: true, release: "Recycle"},
+}
+
+// bufSink describes one consuming call: which argument it releases and
+// the past-tense verb for use-after diagnostics.
+type bufSink struct {
+	arg  int
+	verb string
+}
+
+// bufSinks maps pkgpath.Name of releasing calls to their consumed
+// argument. Proc.Absorb is deliberately absent: it only applies arrival
+// accounting, the packet stays live until Recycle.
+var bufSinks = map[string]bufSink{
+	"ygm/internal/transport.SendPooled": {arg: 2, verb: "sent"},
+	"ygm/internal/transport.Recycle":    {arg: 0, verb: "recycled"},
+	"ygm/internal/codec.Detach":         {arg: 0, verb: "handed to a codec.Writer as replacement storage"},
+}
+
+// bufBits is the per-variable may-state lattice.
+type bufBits uint8
+
+const (
+	bitLive     bufBits = 1 << iota // may still own the value
+	bitConsumed                     // may have released it
+)
+
+// bufVal is one tracked variable's abstract value.
+type bufVal struct {
+	bits    bufBits
+	kind    string // "pooled buffer" | "packet"
+	source  string // producing call name, for diagnostics
+	release string
+	acquire token.Pos // position of the producing call
+	verb    string    // how it was (possibly) consumed
+	origin  *types.Var
+}
+
+func (v *bufVal) copy() *bufVal { c := *v; return &c }
+
+// bufState maps tracked variables to their abstract values.
+type bufState map[*types.Var]*bufVal
+
+func (st bufState) clone() absState {
+	c := make(bufState, len(st))
+	for k, v := range st {
+		c[k] = v.copy()
+	}
+	return c
+}
+
+func (st bufState) join(other absState) bool {
+	o := other.(bufState)
+	changed := false
+	for k, ov := range o {
+		mine, ok := st[k]
+		if !ok {
+			st[k] = ov.copy()
+			changed = true
+			continue
+		}
+		if merged := mine.bits | ov.bits; merged != mine.bits {
+			mine.bits = merged
+			changed = true
+		}
+		if mine.verb == "" && ov.verb != "" {
+			mine.verb = ov.verb
+		}
+	}
+	return changed
+}
+
+// bufDesc is what one expression evaluates to, as far as ownership is
+// concerned.
+type bufDesc struct {
+	v   *types.Var // a tracked variable (move semantics on assignment)
+	src *bufSource // a fresh source result
+	// srcName/pos describe the producing call when src != nil.
+	srcName string
+	pos     token.Pos
+}
+
+// bufAnalysis carries one function analysis (or one summary run).
+type bufAnalysis struct {
+	pkg  *Package
+	pass *Pass
+	sums *summarizer
+	// findings is nil in summary mode.
+	findings *[]Finding
+	dedup    map[string]bool
+	// summaryParam is the parameter being summarized, nil in root mode.
+	summaryParam *types.Var
+	sawEscape    bool
+	sawConsume   bool
+	exitLive     bool
+}
+
+func runBuflifetime(pass *Pass) []Finding {
+	var findings []Finding
+	sums := newSummarizer(pass)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeBufBody(pass, pass.Pkg, sums, fd.Body, &findings)
+			// Function literals are analyzed as independent roots; the
+			// enclosing analysis treats captured variables as escaping.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					analyzeBufBody(pass, pass.Pkg, sums, lit.Body, &findings)
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+func analyzeBufBody(pass *Pass, pkg *Package, sums *summarizer, body *ast.BlockStmt, findings *[]Finding) {
+	a := &bufAnalysis{pkg: pkg, pass: pass, sums: sums, findings: findings, dedup: make(map[string]bool)}
+	a.run(body, make(bufState))
+}
+
+// summarizeConsume runs the buflifetime transfer over decl's body with
+// param seeded live and classifies the callee's treatment of it.
+func summarizeConsume(s *summarizer, decl *IndexedFunc, param *types.Var) consumeEffect {
+	a := &bufAnalysis{pkg: decl.Pkg, pass: s.pass, sums: s, summaryParam: param, dedup: make(map[string]bool)}
+	init := bufState{param: {bits: bitLive, kind: "value", origin: param}}
+	a.run(decl.Decl.Body, init)
+	switch {
+	case a.sawEscape:
+		return effEscapes
+	case a.sawConsume && !a.exitLive:
+		return effConsumes
+	case a.sawConsume: // consumed on some paths only: give up silently
+		return effEscapes
+	default:
+		return effReads
+	}
+}
+
+func (a *bufAnalysis) run(body *ast.BlockStmt, init bufState) {
+	g := buildCFG(body, a.pkg.Info)
+	forwardFlow(g, init, flowFuncs{
+		transfer: func(st absState, n ast.Node, report bool) {
+			a.node(st.(bufState), n, report && a.findings != nil)
+		},
+		refine: a.refine,
+		atExit: func(st absState) { a.atExit(st.(bufState)) },
+	})
+}
+
+// refine sharpens the state on the branches of a nil check: on the edge
+// where a tracked variable is proven nil there is nothing to release.
+func (a *bufAnalysis) refine(st absState, cond ast.Expr, taken bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return
+	}
+	var id *ast.Ident
+	switch {
+	case isNilIdent(a.pkg.Info, bin.Y):
+		id, _ = ast.Unparen(bin.X).(*ast.Ident)
+	case isNilIdent(a.pkg.Info, bin.X):
+		id, _ = ast.Unparen(bin.Y).(*ast.Ident)
+	}
+	if id == nil {
+		return
+	}
+	v := a.localVar(id)
+	if v == nil {
+		return
+	}
+	nilEdge := (bin.Op == token.EQL) == taken
+	if nilEdge {
+		delete(st.(bufState), v)
+	}
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func (a *bufAnalysis) atExit(st bufState) {
+	for v, val := range st {
+		if val.bits&bitLive == 0 {
+			continue
+		}
+		if a.summaryParam != nil {
+			if val.origin == a.summaryParam {
+				a.exitLive = true
+			}
+			continue
+		}
+		a.reportf(val.acquire, "%s %q from %s is not released on every path; it must reach exactly one of %s",
+			val.kind, v.Name(), val.source, val.release)
+	}
+}
+
+func (a *bufAnalysis) reportf(pos token.Pos, format string, args ...any) {
+	if a.findings == nil {
+		return
+	}
+	p := a.pkg.Fset.Position(pos)
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%s:%d:%d:%s", p.Filename, p.Line, p.Column, msg)
+	if a.dedup[key] {
+		return
+	}
+	a.dedup[key] = true
+	*a.findings = append(*a.findings, Finding{Pos: p, Analyzer: "buflifetime", Message: msg})
+}
+
+// node applies one CFG node's ownership effects.
+func (a *bufAnalysis) node(st bufState, n ast.Node, report bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		a.assign(st, n, report)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var d bufDesc
+					if i < len(vs.Values) {
+						d = a.expr(st, vs.Values[i], report)
+					}
+					a.bindIdent(st, name, d, report)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		d := a.expr(st, n.X, report)
+		if d.src != nil && report {
+			a.reportf(d.pos, "result of %s is dropped; the %s must be released via %s",
+				d.srcName, d.src.kind, d.src.release)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			d := a.expr(st, r, report)
+			if d.v != nil {
+				a.escape(st, d.v, report)
+			}
+		}
+	case *ast.SendStmt:
+		a.expr(st, n.Chan, report)
+		d := a.expr(st, n.Value, report)
+		if d.v != nil {
+			a.escape(st, d.v, report)
+		}
+	case *ast.IncDecStmt:
+		a.expr(st, n.X, report)
+	case *ast.GoStmt:
+		a.escapeCall(st, n.Call, report)
+	case *ast.DeferStmt:
+		// Arguments are evaluated at defer time (reads); the call's
+		// release semantics apply in the exit chain, where the CFG places
+		// the deferred CallExpr.
+		for _, arg := range n.Call.Args {
+			a.expr(st, arg, report)
+		}
+	case *ast.RangeStmt:
+		a.expr(st, n.X, report)
+		for _, lhs := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				a.bindIdent(st, id, bufDesc{}, report)
+			}
+		}
+	case ast.Expr:
+		a.expr(st, n, report)
+	}
+}
+
+// assign applies one assignment: source bindings, ownership moves, and
+// kills.
+func (a *bufAnalysis) assign(st bufState, n *ast.AssignStmt, report bool) {
+	if len(n.Lhs) != len(n.Rhs) {
+		// Multi-value assignment (call or type assertion): evaluate the
+		// rhs, then kill any tracked lhs variables.
+		for _, r := range n.Rhs {
+			a.expr(st, r, report)
+		}
+		for _, l := range n.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				a.bindIdent(st, id, bufDesc{}, report)
+			} else {
+				a.expr(st, l, report)
+			}
+		}
+		return
+	}
+	for i := range n.Lhs {
+		d := a.expr(st, n.Rhs[i], report)
+		lhs := ast.Unparen(n.Lhs[i])
+		if id, ok := lhs.(*ast.Ident); ok {
+			if a.localVar(id) != nil || id.Name == "_" {
+				a.bindIdent(st, id, d, report)
+				continue
+			}
+		}
+		// Field, index, dereference or global target: evaluate the lhs for
+		// uses; a tracked rhs escapes into it.
+		a.expr(st, lhs, report)
+		if d.v != nil {
+			a.escape(st, d.v, report)
+		}
+	}
+}
+
+// bindIdent rebinds one identifier to the value described by d.
+func (a *bufAnalysis) bindIdent(st bufState, id *ast.Ident, d bufDesc, report bool) {
+	if id.Name == "_" {
+		if d.src != nil && report {
+			a.reportf(d.pos, "result of %s is dropped; the %s must be released via %s",
+				d.srcName, d.src.kind, d.src.release)
+		}
+		return
+	}
+	v := a.localVar(id)
+	if v == nil {
+		if d.v != nil {
+			a.escape(st, d.v, report)
+		}
+		return
+	}
+	if old, ok := st[v]; ok && d.v != v {
+		if old.bits&bitLive != 0 && old.bits&bitConsumed == 0 && report {
+			a.reportf(id.Pos(), "%q is reassigned while it still holds an unreleased %s (from %s)",
+				id.Name, old.kind, old.source)
+		}
+		delete(st, v)
+	}
+	switch {
+	case d.v != nil && d.v != v:
+		val := st[d.v]
+		delete(st, d.v)
+		if val != nil {
+			st[v] = val
+		}
+	case d.src != nil:
+		st[v] = &bufVal{
+			bits:    bitLive,
+			kind:    d.src.kind,
+			source:  d.srcName,
+			release: d.src.release,
+			acquire: d.pos,
+			origin:  nil,
+		}
+	}
+}
+
+// escape stops tracking v: its value went somewhere the analysis cannot
+// follow. Escaping an already-released value is still a use-after.
+func (a *bufAnalysis) escape(st bufState, v *types.Var, report bool) {
+	val, ok := st[v]
+	if !ok {
+		return
+	}
+	if val.bits&bitConsumed != 0 && report {
+		a.reportf(v.Pos(), "%q may escape after it was %s", v.Name(), val.verb)
+	}
+	if val.origin != nil && val.origin == a.summaryParam {
+		a.sawEscape = true
+	}
+	delete(st, v)
+}
+
+// use checks a read of a tracked variable.
+func (a *bufAnalysis) use(st bufState, id *ast.Ident, v *types.Var, report bool) {
+	val, ok := st[v]
+	if !ok {
+		return
+	}
+	if val.bits&bitConsumed != 0 && report {
+		a.reportf(id.Pos(), "use of %q after it was %s", id.Name, val.verb)
+	}
+}
+
+// consume marks v released at a sink.
+func (a *bufAnalysis) consume(st bufState, pos token.Pos, v *types.Var, verb string, report bool) {
+	val, ok := st[v]
+	if !ok {
+		return
+	}
+	if val.bits&bitConsumed != 0 && report {
+		a.reportf(pos, "%q is released twice: it was already %s", v.Name(), val.verb)
+	}
+	val.bits = (val.bits &^ bitLive) | bitConsumed
+	val.verb = verb
+	if val.origin != nil && val.origin == a.summaryParam {
+		a.sawConsume = true
+	}
+}
+
+// expr evaluates one expression's ownership effects and describes its
+// value.
+func (a *bufAnalysis) expr(st bufState, e ast.Expr, report bool) bufDesc {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v := a.localVar(e); v != nil {
+			if _, tracked := st[v]; tracked {
+				a.use(st, e, v, report)
+				return bufDesc{v: v}
+			}
+		}
+	case *ast.ParenExpr:
+		return a.expr(st, e.X, report)
+	case *ast.CallExpr:
+		return a.call(st, e, report)
+	case *ast.SelectorExpr:
+		a.expr(st, e.X, report)
+	case *ast.SliceExpr:
+		d := a.expr(st, e.X, report)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				a.expr(st, idx, report)
+			}
+		}
+		return d // a reslice still owns the same backing buffer
+	case *ast.UnaryExpr:
+		d := a.expr(st, e.X, report)
+		if e.Op == token.AND && d.v != nil {
+			a.escape(st, d.v, report)
+		}
+	case *ast.StarExpr:
+		a.expr(st, e.X, report)
+	case *ast.BinaryExpr:
+		// Nil comparisons are ownership-neutral (checking a released
+		// pointer against nil is not a use of its contents).
+		if isNilIdent(a.pkg.Info, e.X) || isNilIdent(a.pkg.Info, e.Y) {
+			return bufDesc{}
+		}
+		a.expr(st, e.X, report)
+		a.expr(st, e.Y, report)
+	case *ast.IndexExpr:
+		a.expr(st, e.X, report)
+		a.expr(st, e.Index, report)
+	case *ast.IndexListExpr:
+		a.expr(st, e.X, report)
+		for _, idx := range e.Indices {
+			a.expr(st, idx, report)
+		}
+	case *ast.TypeAssertExpr:
+		a.expr(st, e.X, report)
+	case *ast.KeyValueExpr:
+		d := a.expr(st, e.Value, report)
+		return d
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			d := a.expr(st, elt, report)
+			if d.v != nil {
+				a.escape(st, d.v, report)
+			}
+		}
+	case *ast.FuncLit:
+		a.escapeCaptured(st, e, report)
+	}
+	return bufDesc{}
+}
+
+// escapeCaptured stops tracking every variable a function literal
+// captures: the closure may outlive this frame.
+func (a *bufAnalysis) escapeCaptured(st bufState, lit *ast.FuncLit, report bool) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := a.pkg.Info.Uses[id].(*types.Var); ok {
+			if _, tracked := st[v]; tracked {
+				a.escape(st, v, report)
+			}
+		}
+		return true
+	})
+}
+
+// escapeCall treats every tracked value reaching a call (go statement,
+// unknown callee) as escaping.
+func (a *bufAnalysis) escapeCall(st bufState, call *ast.CallExpr, report bool) {
+	a.expr(st, call.Fun, report)
+	for _, arg := range call.Args {
+		d := a.expr(st, arg, report)
+		if d.v != nil {
+			a.escape(st, d.v, report)
+		}
+	}
+}
+
+// call applies one call expression: sinks, sources, summaries, unknown
+// callees.
+func (a *bufAnalysis) call(st bufState, call *ast.CallExpr, report bool) bufDesc {
+	info := a.pkg.Info
+	// Builtins first: they never release anything.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := info.Uses[id].(*types.Builtin); ok {
+			return a.builtin(st, bi.Name(), call, report)
+		}
+	}
+	// Conversions: T(x) passes ownership through.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return a.expr(st, call.Args[0], report)
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		// Dynamic call: arguments escape.
+		a.escapeCall(st, call, report)
+		return bufDesc{}
+	}
+	key := fn.Pkg().Path() + "." + fn.Name()
+
+	// Evaluate the receiver of a bound method call for uses.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && !isMethodExpr(info, call) {
+		if recvd := a.expr(st, sel.X, report); recvd.v != nil {
+			// A tracked value used as a receiver of an un-summarized
+			// method is a read; sinks and summaries below never bind the
+			// receiver as the released argument.
+			if !trackedSinkOrSource(key) && a.pass.Index.Lookup(fn) == nil {
+				a.escape(st, recvd.v, report)
+			}
+		}
+	}
+
+	if sink, ok := bufSinks[key]; ok {
+		var out bufDesc
+		for i, arg := range call.Args {
+			if i == sink.arg {
+				// The released argument is consumed, not read: skip the
+				// use-after check so a double release reports once.
+				if d := descOfIdent(a, st, arg); d.v != nil {
+					a.consume(st, arg.Pos(), d.v, sink.verb, report)
+					continue
+				}
+			}
+			d := a.expr(st, arg, report)
+			if i == sink.arg && d.v != nil {
+				a.consume(st, arg.Pos(), d.v, sink.verb, report)
+			} else if i != sink.arg && d.v != nil {
+				a.use(st, argIdentOf(arg), d.v, report)
+			}
+		}
+		if src, isSrc := bufSources[key]; isSrc { // Detach both consumes and produces
+			out = bufDesc{src: &src, srcName: fn.Name(), pos: call.Pos()}
+		}
+		return out
+	}
+	if src, ok := bufSources[key]; ok {
+		for _, arg := range call.Args {
+			a.expr(st, arg, report)
+		}
+		return bufDesc{src: &src, srcName: fn.Name(), pos: call.Pos()}
+	}
+
+	// Module-declared callee: follow tracked arguments through its
+	// consume summary.
+	if a.pass.Index.Lookup(fn) != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && !isMethodExpr(info, call) {
+			if d := descOfIdent(a, st, sel.X); d.v != nil {
+				a.applySummary(st, call, fn, receiverIndex(info, call, fn), d.v, sel.X.Pos(), report)
+			}
+		}
+		for i, arg := range call.Args {
+			d := a.expr(st, arg, report)
+			switch {
+			case d.v != nil:
+				a.applySummary(st, call, fn, callArgIndex(info, call, fn, i), d.v, arg.Pos(), report)
+			case d.src != nil:
+				eff := effEscapes
+				if idx := callArgIndex(info, call, fn, i); idx >= 0 {
+					eff = a.sums.consumeEffectOf(fn, idx)
+				}
+				if eff == effReads && report {
+					a.reportf(d.pos, "result of %s is passed to %s, which does not release it; the %s must be released via %s",
+						d.srcName, fn.Name(), d.src.kind, d.src.release)
+				}
+			}
+		}
+		return bufDesc{}
+	}
+
+	// Unknown callee (stdlib, interface): tracked arguments escape.
+	for _, arg := range call.Args {
+		d := a.expr(st, arg, report)
+		if d.v != nil {
+			a.escape(st, d.v, report)
+		}
+	}
+	return bufDesc{}
+}
+
+// applySummary applies a callee's consume summary to one tracked
+// argument.
+func (a *bufAnalysis) applySummary(st bufState, call *ast.CallExpr, fn *types.Func, idx int, v *types.Var, pos token.Pos, report bool) {
+	eff := effEscapes
+	if idx >= 0 {
+		eff = a.sums.consumeEffectOf(fn, idx)
+	}
+	switch eff {
+	case effConsumes:
+		a.consume(st, pos, v, "released by "+fn.Name(), report)
+	case effEscapes:
+		a.escape(st, v, report)
+	}
+}
+
+// builtin applies a builtin call's effects.
+func (a *bufAnalysis) builtin(st bufState, name string, call *ast.CallExpr, report bool) bufDesc {
+	switch name {
+	case "append":
+		// Appending may reallocate; stop tracking the destination, and an
+		// element-position tracked value is stored into the slice.
+		for i, arg := range call.Args {
+			d := a.expr(st, arg, report)
+			if d.v == nil {
+				continue
+			}
+			spread := call.Ellipsis.IsValid() && i == len(call.Args)-1
+			if i == 0 || !spread {
+				a.escape(st, d.v, report)
+			}
+		}
+	default:
+		for _, arg := range call.Args {
+			a.expr(st, arg, report)
+		}
+	}
+	return bufDesc{}
+}
+
+// descOfIdent describes a bare identifier without re-running use checks.
+func descOfIdent(a *bufAnalysis, st bufState, e ast.Expr) bufDesc {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return bufDesc{}
+	}
+	if v := a.localVar(id); v != nil {
+		if _, tracked := st[v]; tracked {
+			return bufDesc{v: v}
+		}
+	}
+	return bufDesc{}
+}
+
+func argIdentOf(e ast.Expr) *ast.Ident {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return &ast.Ident{Name: "value", NamePos: e.Pos()}
+	}
+	return id
+}
+
+func trackedSinkOrSource(key string) bool {
+	_, sink := bufSinks[key]
+	_, src := bufSources[key]
+	return sink || src
+}
+
+// localVar resolves an identifier to a function-local variable
+// (including parameters). Package-level variables return nil.
+func (a *bufAnalysis) localVar(id *ast.Ident) *types.Var {
+	obj := a.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = a.pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() == a.pkg.Types.Scope() || v.Parent() == types.Universe {
+		return nil
+	}
+	return v
+}

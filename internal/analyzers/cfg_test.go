@@ -1,0 +1,280 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildBody parses a function body (no type-checking; marker calls like
+// m1() stay unresolved) and builds its CFG.
+func buildBody(t *testing.T, body string) *cfg {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing body: %v\n%s", err, src)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return buildCFG(fd.Body, nil)
+}
+
+// normalize strips trailing spaces so expected graphs can be written
+// without invisible whitespace.
+func normalize(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestCFGBuilder pins the block structure the flow engine runs on: one
+// case per control construct, compared against the dump() rendering
+// (marker calls per block, successor lists, entry/exit/panic tags).
+func TestCFGBuilder(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "if-else",
+			body: `
+	m1()
+	if c {
+		m2()
+	} else {
+		m3()
+	}
+	m4()`,
+			want: `
+b0[m1] entry -> b1,b3
+b1[m2] -> b2
+b2[m4] -> b4
+b3[m3] -> b2
+b4[] exit ->`,
+		},
+		{
+			name: "if-no-else",
+			body: `
+	m1()
+	if c {
+		m2()
+	}
+	m3()`,
+			want: `
+b0[m1] entry -> b1,b2
+b1[m2] -> b2
+b2[m3] -> b3
+b3[] exit ->`,
+		},
+		{
+			name: "for-cond-post",
+			body: `
+	for i := 0; c; i++ {
+		m1()
+	}
+	m2()`,
+			want: `
+b0[] entry -> b1
+b1[] -> b2,b4
+b2[m2] -> b5
+b3[] -> b1
+b4[m1] -> b3
+b5[] exit ->`,
+		},
+		{
+			name: "range",
+			body: `
+	for _, v := range xs {
+		m1()
+	}
+	m2()`,
+			want: `
+b0[] entry -> b1
+b1[] -> b2,b3
+b2[m2] -> b4
+b3[m1] -> b1
+b4[] exit ->`,
+		},
+		{
+			name: "switch-fallthrough",
+			body: `
+	switch x {
+	case 1:
+		m1()
+		fallthrough
+	case 2:
+		m2()
+	default:
+		m3()
+	}
+	m4()`,
+			want: `
+b0[] entry -> b2,b3,b4
+b1[m4] -> b6
+b2[m1] -> b3
+b3[m2] -> b1
+b4[m3] -> b1
+b6[] exit ->`,
+		},
+		{
+			name: "switch-no-default",
+			body: `
+	switch {
+	case c1:
+		m1()
+	}
+	m2()`,
+			want: `
+b0[] entry -> b1,b2
+b1[m2] -> b3
+b2[m1] -> b1
+b3[] exit ->`,
+		},
+		{
+			name: "defer-lifo-exit-chain",
+			body: `
+	m1()
+	defer d1()
+	defer d2()
+	m2()`,
+			want: `
+b0[m1 d1 d2 m2] entry -> b2
+b1[] exit ->
+b2[d2] -> b3
+b3[d1] -> b1`,
+		},
+		{
+			name: "labeled-break",
+			body: `
+outer:
+	for {
+		for {
+			m1()
+			break outer
+		}
+	}
+	m2()`,
+			want: `
+b0[] entry -> b1
+b1[] -> b3
+b2[m2] -> b8
+b3[] -> b4
+b4[] -> b6
+b6[m1] -> b2
+b8[] exit ->`,
+		},
+		{
+			name: "goto",
+			body: `
+	m1()
+	goto done
+	m2()
+done:
+	m3()`,
+			want: `
+b0[m1] entry -> b2
+b2[m3] -> b3
+b3[] exit ->`,
+		},
+		{
+			name: "panic-block-has-no-successors",
+			body: `
+	m1()
+	if c {
+		panic("boom")
+	}
+	m2()`,
+			want: `
+b0[m1] entry -> b1,b3
+b1[panic] panic ->
+b3[m2] -> b4
+b4[] exit ->`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildBody(t, tc.body)
+			got := normalize(g.dump())
+			want := strings.TrimPrefix(normalize(tc.want), "\n")
+			if got != want {
+				t.Errorf("cfg mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestPostDominators checks the pdom relation the divergence analyzer
+// relies on: the join after a branch post-dominates it, the branch arms
+// do not, and panic-only paths are excluded from the relation.
+func TestPostDominators(t *testing.T) {
+	g := buildBody(t, `
+	m1()
+	if c {
+		m2()
+	} else {
+		m3()
+	}
+	m4()`)
+	pdom := postDominators(g)
+	byMark := func(mark string) *cfgBlock {
+		for _, b := range g.blocks {
+			for _, n := range b.nodes {
+				found := false
+				ast.Inspect(n, func(x ast.Node) bool {
+					if call, ok := x.(*ast.CallExpr); ok {
+						if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == mark {
+							found = true
+						}
+					}
+					return true
+				})
+				if found {
+					return b
+				}
+			}
+		}
+		t.Fatalf("no block contains %s()", mark)
+		return nil
+	}
+	branch, then, els, join := byMark("m1"), byMark("m2"), byMark("m3"), byMark("m4")
+	if !pdom[branch][join] {
+		t.Errorf("join block should post-dominate the branch")
+	}
+	if pdom[branch][then] || pdom[branch][els] {
+		t.Errorf("branch arms must not post-dominate the branch")
+	}
+	if !pdom[then][join] || !pdom[els][join] {
+		t.Errorf("join block should post-dominate both arms")
+	}
+	if !pdom[branch][branch] {
+		t.Errorf("post-dominance is reflexive")
+	}
+
+	// A panicking arm contributes no normal path: the other arm's body
+	// still post-dominates the branch-to-exit paths that complete.
+	g2 := buildBody(t, `
+	m1()
+	if c {
+		panic("x")
+	}
+	m2()`)
+	pdom2 := postDominators(g2)
+	var panicBlk *cfgBlock
+	for _, b := range g2.blocks {
+		if b.panics {
+			panicBlk = b
+		}
+	}
+	if panicBlk == nil {
+		t.Fatalf("no panic block built")
+	}
+	if _, ok := pdom2[panicBlk]; ok {
+		t.Errorf("panicking block must be excluded from the post-dominance relation")
+	}
+}

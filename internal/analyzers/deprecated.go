@@ -1,0 +1,55 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// deprecatedShims maps the legacy ygm entry points kept for source
+// compatibility to their replacements. The shims stay exported — the
+// analyzer keeps new in-repo uses from creeping back in.
+var deprecatedShims = map[string]string{
+	"NewBox":      "ygm.New with Option values",
+	"NewRound":    "ygm.New with WithExchange(RoundExchange)",
+	"NewSync":     "ygm.New with WithExchange(SyncExchange)",
+	"WithOptions": "the individual With* options",
+	"SendBcast":   "Broadcast",
+}
+
+// Deprecated flags in-repo uses of the legacy ygm construction and
+// send shims outside the ygm package itself (which implements them in
+// terms of each other).
+var Deprecated = &Analyzer{
+	Name: "deprecated",
+	Doc:  "flag uses of the legacy ygm shims (NewBox/NewRound/NewSync, SendBcast, WithOptions) superseded by the options API",
+	Run:  runDeprecated,
+}
+
+func runDeprecated(pass *Pass) []Finding {
+	if pass.Pkg.Path == ygmPkg {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != ygmPkg {
+				return true
+			}
+			repl, deprecated := deprecatedShims[fn.Name()]
+			if !deprecated {
+				return true
+			}
+			pos := pass.Pkg.Fset.Position(id.Pos())
+			msg := fmt.Sprintf("%s is a deprecated legacy shim; use %s", fn.Name(), repl)
+			findings = append(findings, Finding{Pos: pos, Analyzer: "deprecated", Message: msg})
+			return true
+		})
+	}
+	return findings
+}

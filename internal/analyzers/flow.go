@@ -1,0 +1,96 @@
+package analyzers
+
+// flow.go is the forward abstract-interpretation engine that runs a
+// transfer function to fixpoint over a cfg. Analyzers define their own
+// abstract state (any type with clone and join) and a per-node transfer
+// function; the engine handles the worklist, loop convergence, and a
+// final in-order reporting pass so diagnostics are emitted exactly once.
+
+import "go/ast"
+
+// absState is an analyzer's abstract state for one program point.
+type absState interface {
+	// clone returns an independent copy.
+	clone() absState
+	// join merges other into the receiver and reports whether the
+	// receiver changed (for fixpoint detection).
+	join(other absState) bool
+}
+
+// flowFuncs bundles an analysis's callbacks.
+type flowFuncs struct {
+	// transfer applies one node's effect to st in place. report is true
+	// only during the final reporting pass, when diagnostics should be
+	// emitted.
+	transfer func(st absState, n ast.Node, report bool)
+	// refine, if non-nil, is called on each outgoing edge of a block
+	// whose cond is set and that has exactly two successors: taken=true
+	// for succs[0] (condition held), false for succs[1]. It may sharpen
+	// st in place (e.g. drop a variable proven nil).
+	refine func(st absState, cond ast.Expr, taken bool)
+	// atExit, if non-nil, receives the state flowing into the synthetic
+	// exit block after the fixpoint (for end-of-function obligations).
+	atExit func(st absState)
+}
+
+// forwardFlow runs fns over g starting from entry with the given initial
+// state, to fixpoint, then performs one reporting pass in block order.
+func forwardFlow(g *cfg, entry absState, fns flowFuncs) {
+	in := make(map[*cfgBlock]absState, len(g.blocks))
+	in[g.entry] = entry.clone()
+
+	work := []*cfgBlock{g.entry}
+	inWork := map[*cfgBlock]bool{g.entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		st := in[b].clone()
+		for _, n := range b.nodes {
+			fns.transfer(st, n, false)
+		}
+		if b.panics {
+			continue
+		}
+		twoWay := fns.refine != nil && b.cond != nil && len(b.succs) == 2
+		for i, succ := range b.succs {
+			out := st
+			if twoWay || i < len(b.succs)-1 {
+				out = st.clone()
+			}
+			if twoWay {
+				fns.refine(out, b.cond, i == 0)
+			}
+			prev, ok := in[succ]
+			changed := false
+			if !ok {
+				in[succ] = out.clone()
+				changed = true
+			} else {
+				changed = prev.join(out)
+			}
+			if changed && !inWork[succ] {
+				work = append(work, succ)
+				inWork[succ] = true
+			}
+		}
+	}
+
+	// Reporting pass: re-run transfers in block order with the fixpoint
+	// input states so each diagnostic fires once, at a stable position.
+	for _, b := range g.blocks {
+		st, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		st = st.clone()
+		for _, n := range b.nodes {
+			fns.transfer(st, n, true)
+		}
+	}
+	if fns.atExit != nil {
+		if st, ok := in[g.exit]; ok {
+			fns.atExit(st.clone())
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package analyzers
+
+// output.go renders finding lists in machine-readable formats for
+// cmd/ygmvet: a plain JSON array for scripting, and SARIF 2.1.0 for
+// code-scanning UIs (GitHub PR annotations). Both are stdlib-only and
+// deterministic: findings are emitted in the order given, with
+// module-root-relative forward-slash paths.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders findings as a JSON array (never null), with file
+// paths relative to root.
+func WriteJSON(w io.Writer, findings []Finding, root string) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     relPath(root, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 structures — the subset GitHub code scanning consumes.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// WriteSARIF renders findings as one SARIF 2.1.0 run whose rules are
+// the registered analyzer suite, with artifact URIs relative to root.
+func WriteSARIF(w io.Writer, findings []Finding, root string) error {
+	suite := All()
+	rules := make([]sarifRule, 0, len(suite)+1)
+	ruleIndex := make(map[string]int, len(suite)+1)
+	addRule := func(id, doc string) {
+		ruleIndex[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, a := range suite {
+		addRule(a.Name, a.Doc)
+	}
+	// The suppression-directive diagnostic reports under the tool's own
+	// name rather than any single analyzer.
+	addRule("ygmvet", "diagnose malformed ygmvet:ignore directives")
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		idx, ok := ruleIndex[f.Analyzer]
+		if !ok {
+			addRule(f.Analyzer, "")
+			idx = ruleIndex[f.Analyzer]
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     "warning",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relPath(root, f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "ygmvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// ValidateSARIF structurally checks that data is a SARIF 2.1.0 log of
+// the shape code-scanning consumers require: version "2.1.0", at least
+// one run with a named tool driver, and every result carrying a ruleId
+// resolvable against the driver rules, a message, and a physical
+// location with a relative forward-slash URI and positive startLine.
+// It is the in-repo stand-in for a full JSON-schema validation (no
+// external schema tooling is vendored).
+func ValidateSARIF(data []byte) error {
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		return fmt.Errorf("sarif: not valid JSON: %w", err)
+	}
+	if log.Version != "2.1.0" {
+		return fmt.Errorf("sarif: version %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif") {
+		return fmt.Errorf("sarif: $schema %q does not reference a SARIF schema", log.Schema)
+	}
+	if len(log.Runs) == 0 {
+		return fmt.Errorf("sarif: no runs")
+	}
+	for ri, run := range log.Runs {
+		if run.Tool.Driver.Name == "" {
+			return fmt.Errorf("sarif: runs[%d] has no tool.driver.name", ri)
+		}
+		ids := make(map[string]bool, len(run.Tool.Driver.Rules))
+		for _, r := range run.Tool.Driver.Rules {
+			if r.ID == "" {
+				return fmt.Errorf("sarif: runs[%d] has a rule without an id", ri)
+			}
+			ids[r.ID] = true
+		}
+		for i, res := range run.Results {
+			if res.RuleID == "" {
+				return fmt.Errorf("sarif: results[%d] has no ruleId", i)
+			}
+			if !ids[res.RuleID] {
+				return fmt.Errorf("sarif: results[%d] ruleId %q not declared in driver rules", i, res.RuleID)
+			}
+			if res.Message.Text == "" {
+				return fmt.Errorf("sarif: results[%d] has no message text", i)
+			}
+			if len(res.Locations) == 0 {
+				return fmt.Errorf("sarif: results[%d] has no locations", i)
+			}
+			for _, loc := range res.Locations {
+				uri := loc.PhysicalLocation.ArtifactLocation.URI
+				if uri == "" {
+					return fmt.Errorf("sarif: results[%d] has an empty artifact uri", i)
+				}
+				if strings.HasPrefix(uri, "/") || strings.Contains(uri, "\\") {
+					return fmt.Errorf("sarif: results[%d] uri %q must be relative with forward slashes", i, uri)
+				}
+				if loc.PhysicalLocation.Region.StartLine <= 0 {
+					return fmt.Errorf("sarif: results[%d] has non-positive startLine", i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// relPath renders path relative to root with forward slashes, falling
+// back to the input when it is not under root.
+func relPath(root, path string) string {
+	if root == "" {
+		return filepath.ToSlash(path)
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,185 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{
+			Pos:      token.Position{Filename: "/mod/internal/bench/fig5.go", Line: 102, Column: 4},
+			Analyzer: "buflifetime",
+			Message:  `result of Recv is dropped`,
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/internal/apps/spmv.go", Line: 7, Column: 2},
+			Analyzer: "deprecated",
+			Message:  "SendBcast is a deprecated legacy shim; use Broadcast",
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleFindings(), "/mod"); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d findings, want 2", len(out))
+	}
+	if out[0].File != "internal/bench/fig5.go" || out[0].Line != 102 || out[0].Analyzer != "buflifetime" {
+		t.Errorf("first finding mis-rendered: %+v", out[0])
+	}
+	if out[1].File != "internal/apps/spmv.go" || out[1].Message == "" {
+		t.Errorf("second finding mis-rendered: %+v", out[1])
+	}
+}
+
+// TestWriteJSONEmpty pins the "never null" contract: an empty finding
+// list renders as [], so jq-style consumers can iterate unconditionally.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil, ""); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty finding list renders as %q, want []", got)
+	}
+}
+
+func TestWriteSARIFValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleFindings(), "/mod"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if err := ValidateSARIF(buf.Bytes()); err != nil {
+		t.Fatalf("generated SARIF fails validation: %v\n%s", err, buf.String())
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "ygmvet" {
+		t.Errorf("driver name = %q, want ygmvet", run.Tool.Driver.Name)
+	}
+	// Every registered analyzer plus the directive-diagnostic rule is
+	// declared, so consumers can index rules without findings present.
+	wantRules := len(All()) + 1
+	if len(run.Tool.Driver.Rules) != wantRules {
+		t.Errorf("declared %d rules, want %d", len(run.Tool.Driver.Rules), wantRules)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	for _, res := range run.Results {
+		if res.Level != "warning" {
+			t.Errorf("result level = %q, want warning", res.Level)
+		}
+		if run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("ruleIndex %d does not point at ruleId %q", res.RuleIndex, res.RuleID)
+		}
+	}
+}
+
+// TestWriteSARIFEmpty checks the zero-finding log still validates (CI
+// uploads it unconditionally).
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, ""); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if err := ValidateSARIF(buf.Bytes()); err != nil {
+		t.Errorf("empty SARIF log fails validation: %v", err)
+	}
+}
+
+func TestValidateSARIFRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"not-json", `{`, "not valid JSON"},
+		{"wrong-version", `{"$schema":"sarif-schema-2.1.0.json","version":"2.0.0","runs":[{"tool":{"driver":{"name":"x","rules":[]}},"results":[]}]}`, "version"},
+		{"no-sarif-schema", `{"$schema":"https://example.com/other.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"x","rules":[]}},"results":[]}]}`, "$schema"},
+		{"no-runs", `{"$schema":"sarif-schema-2.1.0.json","version":"2.1.0","runs":[]}`, "no runs"},
+		{"no-driver-name", `{"$schema":"sarif-schema-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"rules":[]}},"results":[]}]}`, "tool.driver.name"},
+		{
+			"undeclared-rule",
+			`{"$schema":"sarif-schema-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"x","rules":[]}},"results":[{"ruleId":"ghost","message":{"text":"m"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.go"},"region":{"startLine":1}}}]}]}]}`,
+			"not declared",
+		},
+		{
+			"absolute-uri",
+			`{"$schema":"sarif-schema-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"x","rules":[{"id":"r"}]}},"results":[{"ruleId":"r","message":{"text":"m"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"/abs/a.go"},"region":{"startLine":1}}}]}]}]}`,
+			"relative",
+		},
+		{
+			"bad-startline",
+			`{"$schema":"sarif-schema-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"x","rules":[{"id":"r"}]}},"results":[{"ruleId":"r","message":{"text":"m"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.go"},"region":{"startLine":0}}}]}]}]}`,
+			"startLine",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSARIF([]byte(tc.data))
+			if err == nil {
+				t.Fatalf("validation accepted malformed log")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRelPath(t *testing.T) {
+	cases := []struct {
+		root, path, want string
+	}{
+		{"/mod", "/mod/internal/a.go", "internal/a.go"},
+		{"/mod", "/elsewhere/a.go", "/elsewhere/a.go"},
+		{"", "/mod/a.go", "/mod/a.go"},
+	}
+	for _, tc := range cases {
+		if got := relPath(tc.root, tc.path); got != tc.want {
+			t.Errorf("relPath(%q, %q) = %q, want %q", tc.root, tc.path, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,696 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Payloadescape checks the payload-retention contract of the delivery
+// path: a handler callback (or collective.BlobSink implementation)
+// receives a slice aliasing a pooled transport buffer, and that buffer
+// is recycled as soon as the handler returns. Storing the payload — or
+// anything aliasing it: a reslice, a codec.Reader over it, a decoded
+// record's payload field — into a struct field, package variable,
+// channel, or goroutine-captured closure is a use-after-recycle waiting
+// to happen. The analysis tracks aliases flow-sensitively through the
+// handler body and follows them into module helpers via escape
+// summaries.
+//
+// Known false negatives, by design: calls through interfaces or
+// function values (the Handler/Tap/Hooks contract boundary) are treated
+// as non-retaining, and a closure capturing an alias is only flagged
+// when it observably outlives the handler (go statement, or stored into
+// escaping memory) — passing it to a call is assumed synchronous.
+var Payloadescape = &Analyzer{
+	Name: "payloadescape",
+	Doc:  "flag handler callbacks and BlobSinks that store delivered payload aliases into fields, globals, channels, or goroutine-captured closures",
+	Run:  runPayloadescape,
+}
+
+const collectivePkg = "ygm/internal/collective"
+
+func runPayloadescape(pass *Pass) []Finding {
+	var findings []Finding
+	sums := newSummarizer(pass)
+	sink := blobSinkInterface(pass)
+	seen := make(map[ast.Node]bool)
+
+	analyzeLit := func(lit *ast.FuncLit, root string) {
+		if seen[lit] {
+			return
+		}
+		seen[lit] = true
+		analyzeEscBody(pass, pass.Pkg, sums, lit.Body, litByteParams(pass.Pkg, lit), root, &findings)
+	}
+	analyzeFn := func(fn *types.Func, root string) {
+		decl := pass.Index.Lookup(fn)
+		if decl == nil || decl.Pkg != pass.Pkg || seen[decl.Decl] {
+			return
+		}
+		seen[decl.Decl] = true
+		analyzeEscBody(pass, decl.Pkg, sums, decl.Decl.Body, declByteParams(decl.Pkg, decl.Decl), root, &findings)
+	}
+	walkRoot := func(expr ast.Expr) {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.FuncLit:
+			pos := pass.Pkg.Fset.Position(e.Pos())
+			analyzeLit(e, fmt.Sprintf("handler literal at %s:%d", shortFile(pos.Filename), pos.Line))
+		case *ast.Ident, *ast.SelectorExpr:
+			if fn := refTarget(pass.Pkg.Info, e); fn != nil {
+				analyzeFn(fn, fmt.Sprintf("handler %s", fn.Name()))
+			}
+		}
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				handlerRootsFromCall(pass, node, walkRoot)
+			case *ast.ValueSpec:
+				if node.Type != nil && isHandlerType(pass.Pkg.Info.Types[node.Type].Type) {
+					for _, v := range node.Values {
+						walkRoot(v)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range node.Rhs {
+					if i < len(node.Lhs) && isHandlerType(pass.Pkg.Info.Types[node.Lhs[i]].Type) {
+						walkRoot(rhs)
+					}
+				}
+			case *ast.FuncDecl:
+				// BlobSink implementations: VisitBlob methods on types that
+				// satisfy collective.BlobSink.
+				if sink != nil && node.Recv != nil && node.Name.Name == "VisitBlob" {
+					if fn, ok := pass.Pkg.Info.Defs[node.Name].(*types.Func); ok {
+						recv := fn.Type().(*types.Signature).Recv()
+						if recv != nil && types.Implements(recv.Type(), sink) {
+							analyzeFn(fn, fmt.Sprintf("BlobSink %s.VisitBlob", recvTypeName(recv.Type())))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// handlerRootsFromCall finds handler-valued argument expressions of one
+// call: a Handler(...) conversion or arguments in Handler-typed
+// parameter positions.
+func handlerRootsFromCall(pass *Pass, call *ast.CallExpr, walkRoot func(ast.Expr)) {
+	info := pass.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if isHandlerType(tv.Type) && len(call.Args) == 1 {
+			walkRoot(call.Args[0])
+		}
+		return
+	}
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		idx := i
+		if sig.Variadic() && idx >= params.Len()-1 {
+			idx = params.Len() - 1
+		}
+		if idx >= params.Len() {
+			break
+		}
+		pt := params.At(idx).Type()
+		if sig.Variadic() && idx == params.Len()-1 {
+			if slice, ok := pt.(*types.Slice); ok && !hasEllipsis(call) {
+				pt = slice.Elem()
+			}
+		}
+		if isHandlerType(pt) {
+			walkRoot(arg)
+		}
+	}
+}
+
+// blobSinkInterface resolves the collective.BlobSink interface from the
+// loaded module, or nil when the package is not part of this load.
+func blobSinkInterface(pass *Pass) *types.Interface {
+	for _, pkg := range pass.All {
+		if pkg.Path != collectivePkg {
+			continue
+		}
+		obj := pkg.Types.Scope().Lookup("BlobSink")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// litByteParams collects a function literal's []byte parameters.
+func litByteParams(pkg *Package, lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	if lit.Type.Params == nil {
+		return out
+	}
+	for _, f := range lit.Type.Params.List {
+		for _, name := range f.Names {
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok && isByteSlice(v.Type()) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// declByteParams collects a declaration's []byte parameters.
+func declByteParams(pkg *Package, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	for _, v := range combinedParams(pkg, fd) {
+		if v != nil && isByteSlice(v.Type()) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// escState is the set of local variables that (may) alias the delivered
+// payload.
+type escState map[*types.Var]bool
+
+func (st escState) clone() absState {
+	c := make(escState, len(st))
+	for k := range st {
+		c[k] = true
+	}
+	return c
+}
+
+func (st escState) join(other absState) bool {
+	changed := false
+	for k := range other.(escState) {
+		if !st[k] {
+			st[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// escAnalysis carries one body analysis (root or summary mode).
+type escAnalysis struct {
+	pkg      *Package
+	pass     *Pass
+	sums     *summarizer
+	findings *[]Finding
+	dedup    map[string]bool
+	root     string
+	// summary is non-nil in summary mode: stores are recorded instead of
+	// reported, and returns of aliases set returnsAlias.
+	summary *escapeEffect
+}
+
+func analyzeEscBody(pass *Pass, pkg *Package, sums *summarizer, body *ast.BlockStmt, seeds []*types.Var, root string, findings *[]Finding) {
+	if len(seeds) == 0 || body == nil {
+		return
+	}
+	a := &escAnalysis{pkg: pkg, pass: pass, sums: sums, findings: findings, dedup: make(map[string]bool), root: root}
+	init := make(escState, len(seeds))
+	for _, v := range seeds {
+		init[v] = true
+	}
+	a.run(body, init)
+}
+
+// summarizeEscape runs the payloadescape transfer over decl's body with
+// param seeded as an alias and reports how the callee treats it.
+func summarizeEscape(s *summarizer, decl *IndexedFunc, param *types.Var) escapeEffect {
+	var eff escapeEffect
+	a := &escAnalysis{pkg: decl.Pkg, pass: s.pass, sums: s, dedup: make(map[string]bool), summary: &eff}
+	a.run(decl.Decl.Body, escState{param: true})
+	return eff
+}
+
+func (a *escAnalysis) run(body *ast.BlockStmt, init escState) {
+	g := buildCFG(body, a.pkg.Info)
+	forwardFlow(g, init, flowFuncs{
+		transfer: func(st absState, n ast.Node, report bool) {
+			a.node(st.(escState), n, report)
+		},
+	})
+}
+
+func (a *escAnalysis) flagStore(pos token.Pos, what string, report bool) {
+	if a.summary != nil {
+		a.summary.stores = true
+		return
+	}
+	if !report || a.findings == nil {
+		return
+	}
+	p := a.pkg.Fset.Position(pos)
+	msg := fmt.Sprintf("delivered payload alias %s (%s); the transport recycles the buffer when the handler returns — copy the bytes, or opt into WithCopyOnDeliver", what, a.root)
+	key := fmt.Sprintf("%s:%d:%d:%s", p.Filename, p.Line, p.Column, msg)
+	if a.dedup[key] {
+		return
+	}
+	a.dedup[key] = true
+	*a.findings = append(*a.findings, Finding{Pos: p, Analyzer: "payloadescape", Message: msg})
+}
+
+// node applies one CFG node's aliasing effects.
+func (a *escAnalysis) node(st escState, n ast.Node, report bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		a.assign(st, n, report)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					alias := false
+					if i < len(vs.Values) {
+						alias = a.expr(st, vs.Values[i], report)
+					} else if len(vs.Values) == 1 && len(vs.Names) > 1 {
+						alias = a.expr(st, vs.Values[0], report)
+					}
+					a.bindIdent(st, name, alias, report)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		a.expr(st, n.X, report)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if a.expr(st, r, report) {
+				if a.summary != nil {
+					a.summary.returnsAlias = true
+				}
+			}
+		}
+	case *ast.SendStmt:
+		a.expr(st, n.Chan, report)
+		if a.expr(st, n.Value, report) {
+			a.flagStore(n.Arrow, "is sent on a channel", report)
+		}
+	case *ast.GoStmt:
+		a.goStmt(st, n, report)
+	case *ast.DeferStmt:
+		// The deferred call itself is transferred in the exit chain; the
+		// argument evaluation here is a read.
+		for _, arg := range n.Call.Args {
+			a.expr(st, arg, report)
+		}
+	case *ast.RangeStmt:
+		alias := a.expr(st, n.X, report)
+		for _, lhs := range []ast.Expr{n.Key, n.Value} {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			// Ranging over an aliasing [][]byte yields aliasing elements;
+			// ranging over the payload itself yields bytes (not marked).
+			a.bindIdent(st, id, alias && lhs == n.Value && mayCarryBytes(a.pkg.Info.Defs[id]), report)
+		}
+	case *ast.IncDecStmt:
+		a.expr(st, n.X, report)
+	case ast.Expr:
+		a.expr(st, n, report)
+	}
+}
+
+func (a *escAnalysis) assign(st escState, n *ast.AssignStmt, report bool) {
+	if len(n.Lhs) != len(n.Rhs) {
+		// Multi-value rhs (call, type assertion, map read): one aliasness
+		// for all lhs positions.
+		alias := false
+		for _, r := range n.Rhs {
+			if a.expr(st, r, report) {
+				alias = true
+			}
+		}
+		for _, l := range n.Lhs {
+			a.assignTo(st, l, alias, report)
+		}
+		return
+	}
+	for i := range n.Lhs {
+		alias := a.expr(st, n.Rhs[i], report)
+		a.assignTo(st, n.Lhs[i], alias, report)
+	}
+}
+
+// assignTo applies one store of a (possibly aliasing) value to lhs.
+func (a *escAnalysis) assignTo(st escState, lhs ast.Expr, alias bool, report bool) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		a.bindIdent(st, l, alias, report)
+		return
+	case *ast.SelectorExpr:
+		// x.f = alias: writing into a local value struct just makes the
+		// struct an alias carrier; anything else (pointer base, global,
+		// field chain into escaping memory) is retention.
+		if base := a.localValueVar(l.X); base != nil {
+			a.expr(st, l.X, report)
+			if alias {
+				st[base] = true
+			}
+			return
+		}
+		a.expr(st, l.X, report)
+		if alias {
+			a.flagStore(l.Sel.Pos(), fmt.Sprintf("is stored into field %s", l.Sel.Name), report)
+		}
+		return
+	case *ast.IndexExpr:
+		a.expr(st, l.Index, report)
+		if base := a.localVarOf(l.X); base != nil {
+			a.expr(st, l.X, report)
+			if alias {
+				st[base] = true // local slice/map becomes a carrier
+			}
+			return
+		}
+		a.expr(st, l.X, report)
+		if alias {
+			a.flagStore(l.Pos(), "is stored into an element of escaping memory", report)
+		}
+		return
+	case *ast.StarExpr:
+		a.expr(st, l.X, report)
+		if alias {
+			a.flagStore(l.Pos(), "is stored through a pointer", report)
+		}
+		return
+	}
+	a.expr(st, lhs, report)
+	if alias {
+		a.flagStore(lhs.Pos(), "is stored into escaping memory", report)
+	}
+}
+
+func (a *escAnalysis) bindIdent(st escState, id *ast.Ident, alias bool, report bool) {
+	if id.Name == "_" {
+		return
+	}
+	v := a.localVarIdent(id)
+	if v == nil {
+		// Package-level variable.
+		if alias {
+			a.flagStore(id.Pos(), fmt.Sprintf("is stored into package variable %s", id.Name), report)
+		}
+		return
+	}
+	if alias {
+		st[v] = true
+	} else {
+		delete(st, v)
+	}
+}
+
+// goStmt flags aliases reaching a spawned goroutine: as direct
+// arguments or captured by the go'd function literal.
+func (a *escAnalysis) goStmt(st escState, n *ast.GoStmt, report bool) {
+	for _, arg := range n.Call.Args {
+		if a.expr(st, arg, report) {
+			a.flagStore(arg.Pos(), "is passed to a goroutine", report)
+		}
+	}
+	if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+		if v := a.capturedCarrier(st, lit); v != nil {
+			a.flagStore(n.Pos(), fmt.Sprintf("is captured by a goroutine (via %q)", v.Name()), report)
+		}
+	} else {
+		a.expr(st, n.Call.Fun, report)
+	}
+}
+
+// capturedCarrier returns a carrier variable captured by lit, if any.
+func (a *escAnalysis) capturedCarrier(st escState, lit *ast.FuncLit) *types.Var {
+	var found *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := a.pkg.Info.Uses[id].(*types.Var); ok && st[v] {
+			found = v
+		}
+		return true
+	})
+	return found
+}
+
+// expr reports whether e evaluates to a payload alias, applying call
+// effects along the way.
+func (a *escAnalysis) expr(st escState, e ast.Expr, report bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := a.pkg.Info.Uses[e].(*types.Var); ok {
+			return st[v]
+		}
+	case *ast.ParenExpr:
+		return a.expr(st, e.X, report)
+	case *ast.SelectorExpr:
+		// A field read of an alias-carrying struct yields an alias.
+		return a.expr(st, e.X, report)
+	case *ast.SliceExpr:
+		alias := a.expr(st, e.X, report)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				a.expr(st, idx, report)
+			}
+		}
+		return alias
+	case *ast.IndexExpr:
+		alias := a.expr(st, e.X, report)
+		a.expr(st, e.Index, report)
+		return alias
+	case *ast.StarExpr:
+		return a.expr(st, e.X, report)
+	case *ast.UnaryExpr:
+		alias := a.expr(st, e.X, report)
+		if e.Op == token.AND {
+			return alias
+		}
+		if e.Op == token.ARROW {
+			return false // channel receive: contents unknown
+		}
+		return false
+	case *ast.BinaryExpr:
+		a.expr(st, e.X, report)
+		a.expr(st, e.Y, report)
+		return false
+	case *ast.TypeAssertExpr:
+		return a.expr(st, e.X, report)
+	case *ast.KeyValueExpr:
+		return a.expr(st, e.Value, report)
+	case *ast.CompositeLit:
+		alias := false
+		for _, elt := range e.Elts {
+			if a.expr(st, elt, report) {
+				alias = true
+			}
+		}
+		return alias
+	case *ast.CallExpr:
+		return a.call(st, e, report)
+	case *ast.FuncLit:
+		// A bare literal in expression position: conservatively fine
+		// unless it escapes via go/store, which the statement-level rules
+		// catch. Walk it for IIFE correctness only when directly called
+		// (handled in call()).
+		return false
+	}
+	return false
+}
+
+// call evaluates one call's effects and whether its value aliases the
+// payload.
+func (a *escAnalysis) call(st escState, call *ast.CallExpr, report bool) bool {
+	info := a.pkg.Info
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := info.Uses[id].(*types.Builtin); ok {
+			return a.builtin(st, bi.Name(), call, report)
+		}
+	}
+	// Conversions: []byte->string and any basic conversion copies; a
+	// slice-to-slice conversion preserves the alias.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		alias := a.expr(st, call.Args[0], report)
+		if !alias {
+			return false
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Basic:
+			return false // string(b), etc: copies
+		default:
+			return true
+		}
+	}
+	// Immediately-invoked function literal: analyze inline with the
+	// current carriers (covers deferred literals via the exit chain).
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		for _, arg := range call.Args {
+			a.expr(st, arg, report)
+		}
+		sub := &escAnalysis{pkg: a.pkg, pass: a.pass, sums: a.sums, findings: a.findings, dedup: a.dedup, root: a.root, summary: a.summary}
+		if report || a.summary != nil {
+			sub.run(lit.Body, st.clone().(escState))
+		}
+		return false
+	}
+
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || a.pass.Index.Lookup(fn) == nil {
+		// Dynamic, interface, or extra-module call: assumed non-retaining
+		// (the Handler/Tap/Hooks contract boundary — documented false
+		// negative).
+		a.exprList(st, call.Args, report)
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			a.expr(st, sel.X, report)
+		}
+		return false
+	}
+
+	resultAliases := false
+	apply := func(idx int, alias bool, pos token.Pos) {
+		if !alias {
+			return
+		}
+		eff := a.sums.escapeEffectOf(fn, idx)
+		if eff.stores {
+			a.flagStore(pos, fmt.Sprintf("is retained by %s", fn.Name()), report)
+		}
+		if eff.returnsAlias {
+			resultAliases = true
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && !isMethodExpr(info, call) {
+		apply(receiverIndex(info, call, fn), a.expr(st, sel.X, report), sel.X.Pos())
+	}
+	for i, arg := range call.Args {
+		apply(callArgIndex(info, call, fn, i), a.expr(st, arg, report), arg.Pos())
+	}
+	return resultAliases
+}
+
+func (a *escAnalysis) exprList(st escState, list []ast.Expr, report bool) {
+	for _, e := range list {
+		a.expr(st, e, report)
+	}
+}
+
+// builtin evaluates a builtin call's aliasing.
+func (a *escAnalysis) builtin(st escState, name string, call *ast.CallExpr, report bool) bool {
+	switch name {
+	case "append":
+		// append(dst, b...) copies bytes (no alias from b); appending an
+		// aliasing element or an aliasing dst keeps the alias.
+		alias := false
+		for i, arg := range call.Args {
+			argAlias := a.expr(st, arg, report)
+			if !argAlias {
+				continue
+			}
+			spread := call.Ellipsis.IsValid() && i == len(call.Args)-1
+			if i == 0 || !spread {
+				alias = true
+			}
+		}
+		return alias
+	case "copy", "len", "cap", "min", "max":
+		a.exprList(st, call.Args, report)
+		return false
+	default:
+		a.exprList(st, call.Args, report)
+		return false
+	}
+}
+
+// localValueVar resolves e to a local variable of (non-pointer) struct
+// or array type — a stack value whose fields can safely carry aliases.
+func (a *escAnalysis) localValueVar(e ast.Expr) *types.Var {
+	v := a.localVarOf(e)
+	if v == nil {
+		return nil
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Struct, *types.Array:
+		return v
+	}
+	return nil
+}
+
+// localVarOf resolves a bare identifier expression to a function-local
+// variable.
+func (a *escAnalysis) localVarOf(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return a.localVarIdent(id)
+}
+
+func (a *escAnalysis) localVarIdent(id *ast.Ident) *types.Var {
+	obj := a.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = a.pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() == a.pkg.Types.Scope() || v.Parent() == types.Universe {
+		return nil
+	}
+	return v
+}
+
+// mayCarryBytes reports whether a value of obj's type could alias a
+// byte buffer (anything but scalars, strings, and funcs).
+func mayCarryBytes(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Basic, *types.Signature, *types.Chan:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,194 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// rankConfinedTypes names per-rank state that is deliberately
+// unsynchronized: the simulated transport endpoint, mailbox machinery,
+// observability recorders, and codec scratch buffers are all owned by
+// exactly one simulated rank and accessed without locks on the hot
+// path. Touching one from a goroutine spawned inside a handler races
+// with the owning rank's delivery loop.
+var rankConfinedTypes = map[string]string{
+	"ygm/internal/transport.Proc":   "transport endpoint",
+	"ygm/internal/ygm.Mailbox":      "mailbox",
+	"ygm/internal/ygm.SyncMailbox":  "mailbox",
+	"ygm/internal/ygm.RoundMailbox": "mailbox",
+	"ygm/internal/ygm.Box":          "mailbox",
+	"ygm/internal/ygm.Sender":       "mailbox sender",
+	"ygm/internal/obs.Recorder":     "flight recorder",
+	"ygm/internal/obs.Registry":     "metrics registry",
+	"ygm/internal/obs.Counter":      "metrics counter",
+	"ygm/internal/obs.Gauge":        "metrics gauge",
+	"ygm/internal/obs.Histogram":    "metrics histogram",
+	"ygm/internal/codec.Writer":     "codec scratch writer",
+	"ygm/internal/codec.Reader":     "codec reader",
+}
+
+// Rankconfined flags goroutines spawned inside handler callbacks (or
+// BlobSink implementations) that capture or receive per-rank state.
+// Handlers run synchronously inside the owning rank's delivery loop, so
+// everything they can see is single-threaded by construction — until a
+// `go` statement smuggles a Proc, mailbox, recorder, or codec scratch
+// buffer onto a real OS thread that outlives the delivery slot.
+var Rankconfined = &Analyzer{
+	Name: "rankconfined",
+	Doc:  "flag per-rank state (Proc, mailboxes, obs recorders, codec scratch) touched from goroutines spawned inside handler callbacks",
+	Run:  runRankconfined,
+}
+
+func runRankconfined(pass *Pass) []Finding {
+	w := &confinedWalker{
+		pass:    pass,
+		visited: make(map[types.Object]bool),
+		seen:    make(map[ast.Node]bool),
+		dedup:   make(map[string]bool),
+	}
+	sink := blobSinkInterface(pass)
+
+	walkRoot := func(expr ast.Expr) {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.FuncLit:
+			pos := pass.Pkg.Fset.Position(e.Pos())
+			w.walkBody(e.Body, pass.Pkg, fmt.Sprintf("handler literal at %s:%d", shortFile(pos.Filename), pos.Line))
+		case *ast.Ident, *ast.SelectorExpr:
+			if fn := refTarget(pass.Pkg.Info, e); fn != nil {
+				w.walkFunc(fn, fmt.Sprintf("handler %s", fn.Name()))
+			}
+		}
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				handlerRootsFromCall(pass, node, walkRoot)
+			case *ast.ValueSpec:
+				if node.Type != nil && isHandlerType(pass.Pkg.Info.Types[node.Type].Type) {
+					for _, v := range node.Values {
+						walkRoot(v)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range node.Rhs {
+					if i < len(node.Lhs) && isHandlerType(pass.Pkg.Info.Types[node.Lhs[i]].Type) {
+						walkRoot(rhs)
+					}
+				}
+			case *ast.FuncDecl:
+				if sink != nil && node.Recv != nil && node.Name.Name == "VisitBlob" {
+					if fn, ok := pass.Pkg.Info.Defs[node.Name].(*types.Func); ok {
+						recv := fn.Type().(*types.Signature).Recv()
+						if recv != nil && types.Implements(recv.Type(), sink) {
+							w.walkFunc(fn, fmt.Sprintf("BlobSink %s.VisitBlob", recvTypeName(recv.Type())))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return w.findings
+}
+
+type confinedWalker struct {
+	pass     *Pass
+	visited  map[types.Object]bool
+	seen     map[ast.Node]bool
+	dedup    map[string]bool
+	findings []Finding
+}
+
+func (w *confinedWalker) walkFunc(fn *types.Func, root string) {
+	if w.visited[fn] {
+		return
+	}
+	w.visited[fn] = true
+	decl := w.pass.Index.Lookup(fn)
+	if decl == nil {
+		return
+	}
+	w.walkBody(decl.Decl.Body, decl.Pkg, root)
+}
+
+// walkBody scans one reachable body for go statements and recurses into
+// static module callees outside the trusted framework packages.
+func (w *confinedWalker) walkBody(body *ast.BlockStmt, pkg *Package, root string) {
+	if body == nil || w.seen[body] {
+		return
+	}
+	w.seen[body] = true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			w.checkGo(n, pkg, root)
+		case *ast.CallExpr:
+			fn := calleeOf(pkg.Info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if !trustedFrameworkPkgs[fn.Pkg().Path()] {
+				w.walkFunc(fn, root)
+			}
+		}
+		return true
+	})
+}
+
+// checkGo flags confined-typed values reaching the spawned goroutine,
+// whether as call arguments, the method receiver, or closure captures.
+func (w *confinedWalker) checkGo(g *ast.GoStmt, pkg *Package, root string) {
+	report := func(pos ast.Node, name, desc string) {
+		p := pkg.Fset.Position(pos.Pos())
+		msg := fmt.Sprintf("per-rank %s %q must not be touched from a goroutine spawned inside a handler (%s); handlers run inside the owning rank's delivery loop and everything they reach is single-threaded by construction", desc, name, root)
+		key := fmt.Sprintf("%s:%d:%d:%s", p.Filename, p.Line, p.Column, msg)
+		if w.dedup[key] {
+			return
+		}
+		w.dedup[key] = true
+		w.findings = append(w.findings, Finding{Pos: p, Analyzer: "rankconfined", Message: msg})
+	}
+	check := func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if desc := confinedTypeDesc(v.Type()); desc != "" {
+			report(id, id.Name, desc)
+		}
+		return true
+	}
+	for _, arg := range g.Call.Args {
+		ast.Inspect(arg, check)
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		ast.Inspect(fun.Body, check)
+	case *ast.SelectorExpr:
+		ast.Inspect(fun.X, check)
+	}
+}
+
+// confinedTypeDesc reports the confinement description of t (through
+// pointers), or "".
+func confinedTypeDesc(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return rankConfinedTypes[obj.Pkg().Path()+"."+obj.Name()]
+}

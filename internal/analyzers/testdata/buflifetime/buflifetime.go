@@ -1,0 +1,122 @@
+// Package buflifetimefixture exercises the buflifetime analyzer: pooled
+// buffers and packets that leak on some path, are released twice, or
+// are touched after SendPooled/Recycle/Detach are flagged; buffers that
+// reach exactly one release on every path — including through defers,
+// nil-checked Poll results, and consuming module helpers — are not.
+package buflifetimefixture
+
+import (
+	"ygm/internal/codec"
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+)
+
+// sendClean follows the canonical acquire → fill → SendPooled protocol.
+func sendClean(p *transport.Proc, dst machine.Rank) {
+	buf := p.AcquireBuf(8)
+	buf = buf[:8]
+	buf[0] = 1
+	p.SendPooled(dst, transport.TagUser, buf)
+}
+
+// leakEarlyReturn forgets the buffer on the early-return path.
+func leakEarlyReturn(p *transport.Proc, dst machine.Rank, skip bool) {
+	buf := p.AcquireBuf(32) // want `pooled buffer "buf" from AcquireBuf is not released on every path`
+	if skip {
+		return
+	}
+	p.SendPooled(dst, transport.TagUser, buf)
+}
+
+// condLeak releases on one branch only.
+func condLeak(p *transport.Proc, dst machine.Rank, send bool) {
+	buf := p.AcquireBuf(16) // want `pooled buffer "buf" from AcquireBuf is not released on every path`
+	if send {
+		p.SendPooled(dst, transport.TagUser, buf)
+	}
+}
+
+// useAfterRecycle reads the packet payload after handing it back.
+func useAfterRecycle(p *transport.Proc) int {
+	pkt := p.Recv(transport.TagUser)
+	n := len(pkt.Payload)
+	p.Recycle(pkt)
+	return n + len(pkt.Payload) // want `use of "pkt" after it was recycled`
+}
+
+// doubleRecycle releases the same packet twice on one path.
+func doubleRecycle(p *transport.Proc, again bool) {
+	pkt := p.Recv(transport.TagUser)
+	p.Recycle(pkt)
+	if again {
+		p.Recycle(pkt) // want `"pkt" is released twice: it was already recycled`
+	}
+}
+
+// useAfterSend touches a pooled buffer the transport now owns.
+func useAfterSend(p *transport.Proc, dst machine.Rank) int {
+	buf := p.AcquireBuf(8)
+	p.SendPooled(dst, transport.TagUser, buf)
+	return len(buf) // want `use of "buf" after it was sent`
+}
+
+// dropped discards source results outright.
+func dropped(p *transport.Proc) {
+	p.AcquireBuf(16)          // want `result of AcquireBuf is dropped`
+	p.Recv(transport.TagUser) // want `result of Recv is dropped`
+}
+
+// reassignLoses overwrites the only reference to an unreleased buffer.
+func reassignLoses(p *transport.Proc, dst machine.Rank) {
+	buf := p.AcquireBuf(8)
+	buf = p.AcquireBuf(16) // want `"buf" is reassigned while it still holds an unreleased pooled buffer`
+	p.SendPooled(dst, transport.TagUser, buf)
+}
+
+// detachClean swaps a fresh buffer into the writer and sends the
+// detached storage: both values reach exactly one release.
+func detachClean(p *transport.Proc, dst machine.Rank, w *codec.Writer) {
+	buf := p.AcquireBuf(64)
+	out := w.Detach(buf)
+	p.SendPooled(dst, transport.TagUser, out)
+}
+
+// deferRecycle releases through the deferred exit chain.
+func deferRecycle(p *transport.Proc) int {
+	pkt := p.Recv(transport.TagUser)
+	defer p.Recycle(pkt)
+	return len(pkt.Payload)
+}
+
+// pollClean recycles every non-nil Poll result; the nil-refined return
+// path owes nothing.
+func pollClean(p *transport.Proc) int {
+	drained := 0
+	for {
+		pkt := p.Poll(transport.TagUser)
+		if pkt == nil {
+			return drained
+		}
+		drained++
+		p.Recycle(pkt)
+	}
+}
+
+// forwardHelper releases through a consuming module helper: the
+// analyzer's call summary classifies shipIt as consuming its buffer.
+func forwardHelper(p *transport.Proc, dst machine.Rank) {
+	buf := p.AcquireBuf(8)
+	shipIt(p, dst, buf)
+}
+
+func shipIt(p *transport.Proc, dst machine.Rank, b []byte) {
+	p.SendPooled(dst, transport.TagUser, b)
+}
+
+// passedToReader hands a fresh buffer to a helper that only reads it:
+// nothing ever releases it.
+func passedToReader(p *transport.Proc) {
+	readOnly(p.AcquireBuf(4)) // want `result of AcquireBuf is passed to readOnly, which does not release it`
+}
+
+func readOnly(b []byte) int { return len(b) }

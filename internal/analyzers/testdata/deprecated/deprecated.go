@@ -1,0 +1,28 @@
+// Package deprecatedfixture exercises the deprecated analyzer: uses of
+// the legacy ygm shims are flagged with their replacements; the
+// options-API equivalents are not.
+package deprecatedfixture
+
+import (
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+func handler(s ygm.Sender, payload []byte) {}
+
+func legacyConstructors(p *transport.Proc, o ygm.Options) {
+	_ = ygm.NewBox(p, handler, o)               // want `NewBox is a deprecated legacy shim; use ygm.New with Option values`
+	_, _ = ygm.NewRound(p, handler, o)          // want `NewRound is a deprecated legacy shim; use ygm.New with WithExchange\(RoundExchange\)`
+	_, _ = ygm.NewSync(p, handler, o)           // want `NewSync is a deprecated legacy shim; use ygm.New with WithExchange\(SyncExchange\)`
+	_ = ygm.New(p, handler, ygm.WithOptions(o)) // want `WithOptions is a deprecated legacy shim; use the individual With\* options`
+}
+
+func legacyBroadcast(s ygm.Sender) {
+	s.SendBcast([]byte{1}) // want `SendBcast is a deprecated legacy shim; use Broadcast`
+}
+
+// modern is the replacement spelling: nothing to flag.
+func modern(p *transport.Proc, s ygm.Sender) {
+	_ = ygm.New(p, handler, ygm.WithExchange(ygm.LazyExchange))
+	s.Broadcast([]byte{1})
+}

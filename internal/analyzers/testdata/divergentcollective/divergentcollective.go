@@ -1,0 +1,72 @@
+// Package divergentcollectivefixture exercises the divergentcollective
+// analyzer: collective call sites control-dependent on rank-identity
+// conditions are flagged (every rank must enter a collective, or the
+// ones that did hang); unguarded, data-guarded, and post-dominating
+// collectives are not.
+package divergentcollectivefixture
+
+import (
+	"ygm/internal/collective"
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+// rankGuardedBarrier is the classic divergence: only rank 0 enters.
+func rankGuardedBarrier(p *transport.Proc, c *collective.Comm) {
+	if p.Rank() == 0 {
+		c.Barrier() // want `Barrier \(barrier\) is reached only under the rank-dependent condition`
+	}
+}
+
+// derivedGuard branches on a variable derived from the rank through a
+// conversion; the taint survives int().
+func derivedGuard(p *transport.Proc, mb ygm.Box) {
+	me := int(p.Rank())
+	if me == 0 {
+		mb.WaitEmpty() // want `WaitEmpty \(quiescence barrier\) is reached only under the rank-dependent condition`
+	}
+}
+
+// earlyReturnGuard diverges through control flow rather than nesting:
+// non-root members return before the collective.
+func earlyReturnGuard(c *collective.Comm) {
+	if c.Index() != 0 {
+		return
+	}
+	c.Barrier() // want `Barrier \(barrier\) is reached only under the rank-dependent condition`
+}
+
+// helperGuard hides the collective inside a module helper; the
+// call-graph summary classifies quiesce as performing one.
+func helperGuard(p *transport.Proc, c *collective.Comm) {
+	if p.Node() == 0 {
+		quiesce(c) // want `quiesce \(helper performing a collective\) is reached only under the rank-dependent condition`
+	}
+}
+
+func quiesce(c *collective.Comm) {
+	c.Barrier()
+}
+
+// cleanUnguarded: every rank calls the collective unconditionally.
+func cleanUnguarded(c *collective.Comm) {
+	c.Barrier()
+}
+
+// cleanDataGuarded branches on rank-agnostic data; if the input is
+// globally consistent, so is the branch.
+func cleanDataGuarded(c *collective.Comm, ready bool) {
+	if ready {
+		c.Barrier()
+	}
+}
+
+// cleanPostDominating is the supported pattern: a rank-guarded send
+// followed by a quiescence wait that every rank reaches.
+func cleanPostDominating(p *transport.Proc, mb ygm.Box, dst machine.Rank) {
+	if p.Rank() == 0 {
+		mb.Send(dst, []byte{1})
+	}
+	mb.WaitEmpty()
+}

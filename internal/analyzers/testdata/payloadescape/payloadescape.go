@@ -1,0 +1,94 @@
+// Package payloadescapefixture exercises the payloadescape analyzer:
+// handler callbacks and BlobSink implementations that store delivered
+// payload aliases into fields, package variables, channels, or
+// goroutine-captured closures are flagged; handlers that copy before
+// retaining are not.
+package payloadescapefixture
+
+import (
+	"ygm/internal/ygm"
+)
+
+type record struct{ data []byte }
+
+var (
+	lastPayload []byte
+	lastText    string
+	payloadCh   = make(chan []byte, 1)
+	global      = &record{}
+	sinkState   = &blobKeeper{}
+)
+
+var _ ygm.Handler = storeGlobal
+
+// storeGlobal retains the raw payload slice in a package variable.
+func storeGlobal(s ygm.Sender, payload []byte) {
+	lastPayload = payload // want `is stored into package variable lastPayload`
+}
+
+var _ ygm.Handler = storeField
+
+// storeField retains the payload through a heap-resident struct field.
+func storeField(s ygm.Sender, payload []byte) {
+	global.data = payload // want `is stored into field data`
+}
+
+var _ ygm.Handler = resliceStore
+
+// resliceStore launders the payload through a local reslice first; the
+// backing buffer is still the pooled transport buffer.
+func resliceStore(s ygm.Sender, payload []byte) {
+	head := payload[:4]
+	global.data = head // want `is stored into field data`
+}
+
+var _ ygm.Handler = sendChan
+
+// sendChan publishes the alias to another goroutine via a channel.
+func sendChan(s ygm.Sender, payload []byte) {
+	payloadCh <- payload // want `is sent on a channel`
+}
+
+var _ ygm.Handler = goCapture
+
+// goCapture lets a spawned goroutine outlive the delivery slot while
+// holding the alias.
+func goCapture(s ygm.Sender, payload []byte) {
+	go func() { // want `is captured by a goroutine`
+		lastText = string(payload)
+	}()
+}
+
+var _ ygm.Handler = helperStore
+
+// helperStore retains the payload through a module helper; the escape
+// summary of keep sees the field store.
+func helperStore(s ygm.Sender, payload []byte) {
+	global.keep(payload) // want `is retained by keep`
+}
+
+func (r *record) keep(b []byte) { r.data = b }
+
+var _ ygm.Handler = cleanCopies
+
+// cleanCopies is the supported pattern: copy the bytes (or a decoded
+// scalar) before retaining anything.
+func cleanCopies(s ygm.Sender, payload []byte) {
+	lastPayload = append([]byte(nil), payload...)
+	lastText = string(payload)
+}
+
+// blobKeeper implements collective.BlobSink and retains the blob, which
+// for the pooled all-to-all aliases a packet about to be recycled.
+type blobKeeper struct{ last []byte }
+
+func (k *blobKeeper) VisitBlob(srcIndex int, blob []byte) {
+	sinkState.last = blob // want `is stored into field last`
+}
+
+// cleanBlobCounter implements collective.BlobSink without retaining.
+type cleanBlobCounter struct{ bytes int }
+
+func (k *cleanBlobCounter) VisitBlob(srcIndex int, blob []byte) {
+	k.bytes += len(blob)
+}

@@ -1,0 +1,67 @@
+// Package rankconfinedfixture exercises the rankconfined analyzer:
+// goroutines spawned inside handler callbacks that capture or receive
+// per-rank state (Proc, mailboxes, senders, codec scratch) are flagged;
+// goroutines that only see copied scalars are not.
+package rankconfinedfixture
+
+import (
+	"ygm/internal/codec"
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+	"ygm/internal/ygm"
+)
+
+var results = make(chan int, 8)
+
+// spawnSender smuggles the delivery-loop Sender onto an OS thread.
+func spawnSender(p *transport.Proc, opts []ygm.Option) {
+	_ = ygm.New(p, func(s ygm.Sender, payload []byte) {
+		go func() {
+			s.Send(machine.Rank(0), []byte{1}) // want `per-rank mailbox sender "s" must not be touched`
+		}()
+	}, opts...)
+}
+
+// spawnProc captures the transport endpoint in a handler goroutine.
+func spawnProc(p *transport.Proc, opts []ygm.Option) {
+	_ = ygm.New(p, func(s ygm.Sender, payload []byte) {
+		go func() {
+			p.Compute(1) // want `per-rank transport endpoint "p" must not be touched`
+		}()
+	}, opts...)
+}
+
+var _ ygm.Handler = delegating
+
+// delegating reaches the go statement through a helper: the walk
+// follows static module calls out of the handler.
+func delegating(s ygm.Sender, payload []byte) {
+	spawnLogger(s)
+}
+
+func spawnLogger(s ygm.Sender) {
+	go logSender(s) // want `per-rank mailbox sender "s" must not be touched`
+}
+
+func logSender(s ygm.Sender) {}
+
+var _ ygm.Handler = scratchLeak
+
+// scratchLeak hands a codec scratch writer to a goroutine.
+func scratchLeak(s ygm.Sender, payload []byte) {
+	w := codec.NewWriter(16)
+	go writeStats(w) // want `per-rank codec scratch writer "w" must not be touched`
+}
+
+func writeStats(dst *codec.Writer) { dst.Uvarint(7) }
+
+// cleanScalarGoroutine only moves copied scalars off the handler; no
+// per-rank state crosses the goroutine boundary.
+func cleanScalarGoroutine(p *transport.Proc, opts []ygm.Option) {
+	_ = ygm.New(p, func(s ygm.Sender, payload []byte) {
+		n := len(payload)
+		go func() {
+			results <- n
+		}()
+	}, opts...)
+}

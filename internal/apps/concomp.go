@@ -168,7 +168,7 @@ func ConnectedComponents(p *transport.Proc, cfg ConnectedComponentsConfig) (*Con
 		delegates: make(map[uint64]bool),
 		delLabels: make(map[uint64]uint64),
 	}
-	mb := ygm.New(p, st.handle, ygm.WithOptions(cfg.Mailbox))
+	mb := ygm.New(p, st.handle, mailboxOptions(cfg.Mailbox)...)
 	comm := collective.World(p)
 
 	// Phase 0: generate this rank's edge share.
@@ -189,7 +189,7 @@ func ConnectedComponents(p *transport.Proc, cfg ConnectedComponentsConfig) (*Con
 				v := graph.GlobalID(uint64(l), world, int(p.Rank()))
 				st.delegates[v] = true
 				st.delLabels[v] = v
-				mb.SendBcast(ccEncode(ccMsgDelegate, v))
+				mb.Broadcast(ccEncode(ccMsgDelegate, v))
 			}
 		}
 		mb.WaitEmpty()
@@ -264,7 +264,7 @@ func ConnectedComponents(p *transport.Proc, cfg ConnectedComponentsConfig) (*Con
 		// broadcast usage of Section V-B1).
 		for d, l := range st.delLabels {
 			if graph.Owner(d, world) == int(p.Rank()) && l < passStart[d] {
-				mb.SendBcast(ccEncode(ccMsgSync, d, l))
+				mb.Broadcast(ccEncode(ccMsgSync, d, l))
 			}
 		}
 		mb.WaitEmpty()

@@ -1,0 +1,21 @@
+package apps
+
+import "ygm/internal/ygm"
+
+// mailboxOptions expands a fully assembled ygm.Options value into the
+// equivalent Option list, so the app entry points — whose configs carry
+// an Options struct — compose with ygm.New without the deprecated
+// ygm.WithOptions overlay. It sets every Options field, making it a
+// drop-in replacement for the wholesale overlay.
+func mailboxOptions(o ygm.Options) []ygm.Option {
+	return []ygm.Option{
+		ygm.WithScheme(o.Scheme),
+		ygm.WithCapacity(o.Capacity),
+		ygm.WithPollEvery(o.PollEvery),
+		ygm.WithExchange(o.Exchange),
+		ygm.WithZeroCopyLocal(o.ZeroCopyLocal),
+		ygm.WithCopyOnDeliver(o.CopyOnDeliver),
+		ygm.WithTap(o.Tap),
+		ygm.WithHooks(o.Hooks),
+	}
+}

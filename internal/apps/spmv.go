@@ -134,7 +134,7 @@ func SpMV(p *transport.Proc, cfg SpMVConfig) (*SpMVResult, error) {
 		xDel:      make(map[uint64]float64),
 		yDel:      make(map[uint64]float64),
 	}
-	mb := ygm.New(p, st.handle, ygm.WithOptions(cfg.Mailbox))
+	mb := ygm.New(p, st.handle, mailboxOptions(cfg.Mailbox)...)
 	comm := collective.World(p)
 
 	// Phase 0: generate this rank's nonzeros. Edge (u,v) becomes entry
@@ -156,7 +156,7 @@ func SpMV(p *transport.Proc, cfg SpMVConfig) (*SpMVResult, error) {
 			if d >= threshold {
 				v := graph.GlobalID(uint64(l), world, int(p.Rank()))
 				st.delegates[v] = true
-				mb.SendBcast(ccEncode(spmvMsgDelegate, v))
+				mb.Broadcast(ccEncode(spmvMsgDelegate, v))
 			}
 		}
 		mb.WaitEmpty()
@@ -196,7 +196,7 @@ func SpMV(p *transport.Proc, cfg SpMVConfig) (*SpMVResult, error) {
 		// values are broadcast by their owners (every core gets a copy).
 		for _, d := range delList {
 			if graph.Owner(d, world) == int(p.Rank()) {
-				mb.SendBcast(ccEncode(spmvMsgX, d, math.Float64bits(XValue(d, iter))))
+				mb.Broadcast(ccEncode(spmvMsgX, d, math.Float64bits(XValue(d, iter))))
 			}
 			st.xDel[d] = XValue(d, iter) // owners and receivers agree
 		}

@@ -137,6 +137,26 @@ func TestFig5Shape(t *testing.T) {
 	}
 }
 
+// TestFig5RecyclesEveryPacket is the regression guard for the packet
+// leak ygmvet's buflifetime analyzer found in the bandwidth probe: the
+// ping-pong loops used to drop their Recv results, stranding pooled
+// packets. The transport counts per-rank recycles, so a well-behaved
+// run must end with every received packet back in the pool.
+func TestFig5RecyclesEveryPacket(t *testing.T) {
+	rep := pingPongWorld(quickTiny(), 1<<10)
+	var recvd, recycled uint64
+	for _, rr := range rep.Ranks {
+		recvd += rr.Stats.RecvMsgs
+		recycled += rr.Stats.Recycles
+	}
+	if want := uint64(2 * pingPongMsgs); recvd != want {
+		t.Fatalf("received %d packets, want %d", recvd, want)
+	}
+	if recycled != recvd {
+		t.Fatalf("packet leak: %d packets received, only %d recycled", recvd, recycled)
+	}
+}
+
 // TestFig6aShape: at the largest weak-scaling point the routed schemes
 // must beat NoRoute, and coalescing must give routed schemes larger
 // average remote messages.

@@ -86,32 +86,43 @@ func fig5Plan(p Preset) Plan {
 	return pl
 }
 
-// measureBandwidth ping-pongs `count` messages of the given size between
-// two ranks on different nodes and returns the achieved one-way
-// bytes/second (the osu_bw-style measurement behind Fig. 5). Ping-pong
-// rather than a pipelined burst, so the per-message latency shows up in
-// the small-message regime exactly as in the paper's plot.
-func measureBandwidth(p Preset, size int) float64 {
-	const count = 8
+// pingPongMsgs is the message count of one bandwidth measurement.
+const pingPongMsgs = 8
+
+// pingPongWorld runs the Fig. 5 measurement workload — pingPongMsgs
+// messages of the given size bounced between two ranks on different
+// nodes — and returns the run report. Every Recv is paired with a
+// Recycle; TestFig5RecyclesEveryPacket pins that packet balance.
+func pingPongWorld(p Preset, size int) *transport.Report {
 	rep, _ := runWorld(p, 2, nil, func(proc *transport.Proc, ex *extras) error {
 		peer := proc.Topo().RankOf(1, 0)
 		switch proc.Rank() {
 		case 0:
-			for i := 0; i < count; i++ {
+			for i := 0; i < pingPongMsgs; i++ {
 				proc.Send(peer, transport.TagUser, make([]byte, size))
-				proc.Recv(transport.TagUser)
+				proc.Recycle(proc.Recv(transport.TagUser))
 			}
 		case peer:
-			for i := 0; i < count; i++ {
-				proc.Recv(transport.TagUser)
+			for i := 0; i < pingPongMsgs; i++ {
+				proc.Recycle(proc.Recv(transport.TagUser))
 				proc.Send(0, transport.TagUser, make([]byte, size))
 			}
 		}
 		return nil
 	})
+	return rep
+}
+
+// measureBandwidth ping-pongs messages of the given size between two
+// ranks on different nodes and returns the achieved one-way
+// bytes/second (the osu_bw-style measurement behind Fig. 5). Ping-pong
+// rather than a pipelined burst, so the per-message latency shows up in
+// the small-message regime exactly as in the paper's plot.
+func measureBandwidth(p Preset, size int) float64 {
+	rep := pingPongWorld(p, size)
 	elapsed := rep.Makespan()
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(2*count*size) / elapsed
+	return float64(2*pingPongMsgs*size) / elapsed
 }

@@ -80,7 +80,7 @@ func New(p *transport.Proc, visit VisitFunc, cfg Config) *Engine {
 		buf := make([]byte, len(payload))
 		copy(buf, payload)
 		e.enqueue(buf)
-	}, ygm.WithOptions(cfg.Mailbox), ygm.WithExchange(ygm.LazyExchange))
+	}, append(mailboxOptions(cfg.Mailbox), ygm.WithExchange(ygm.LazyExchange))...)
 	return e
 }
 

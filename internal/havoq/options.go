@@ -1,0 +1,20 @@
+package havoq
+
+import "ygm/internal/ygm"
+
+// mailboxOptions expands the engine config's ygm.Options value into the
+// equivalent Option list (every field set), replacing the deprecated
+// ygm.WithOptions overlay; the engine appends its own overrides after
+// it.
+func mailboxOptions(o ygm.Options) []ygm.Option {
+	return []ygm.Option{
+		ygm.WithScheme(o.Scheme),
+		ygm.WithCapacity(o.Capacity),
+		ygm.WithPollEvery(o.PollEvery),
+		ygm.WithExchange(o.Exchange),
+		ygm.WithZeroCopyLocal(o.ZeroCopyLocal),
+		ygm.WithCopyOnDeliver(o.CopyOnDeliver),
+		ygm.WithTap(o.Tap),
+		ygm.WithHooks(o.Hooks),
+	}
+}

@@ -146,7 +146,10 @@ func (p *Proc) AcquireBuf(n int) []byte { return p.world.pool.getBuf(n) }
 // Recycle returns a received packet — and, when it was sent with
 // SendPooled, its payload buffer — to the world pool. The caller must not
 // touch pkt or its payload afterwards.
-func (p *Proc) Recycle(pkt *Packet) { p.world.pool.put(pkt) }
+func (p *Proc) Recycle(pkt *Packet) {
+	p.stats.Recycles++
+	p.world.pool.put(pkt)
+}
 
 //ygm:hotpath
 func (p *Proc) send(dst machine.Rank, tag Tag, payload []byte, pooled bool) {

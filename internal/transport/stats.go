@@ -20,6 +20,11 @@ type Stats struct {
 	DataRemoteBytes uint64
 	// RecvMsgs counts packets this rank received (any locality).
 	RecvMsgs uint64
+	// Recycles counts packets this rank returned to the world pool.
+	// Under the pooled ownership protocol every received packet must be
+	// recycled exactly once, so at the end of a well-behaved run
+	// Recycles == RecvMsgs; a shortfall is a packet leak.
+	Recycles uint64
 
 	// partners, when enabled, counts packets sent per destination rank —
 	// used to verify the channel constraints of each routing scheme.
