@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"ygm/internal/bench"
+	"ygm/internal/simtest"
 	"ygm/internal/transport"
 )
 
@@ -49,6 +51,8 @@ func run(args []string) (retErr error) {
 	benchCompare := fs.String("bench-compare", "", "collect a fresh baseline and gate it against this committed file")
 	benchRounds := fs.Int("bench-rounds", 3, "micro-bench rounds per entry for -bench-json/-bench-compare (best kept)")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this path (open in ui.perfetto.dev)")
+	synchSweep := fs.String("synch-sweep", "", "run the synchronizability sweep (all shapes x schemes x variants) and write the per-cell JSON summary to this path")
+	synchSeeds := fs.Int("synch-seeds", 4, "seeded workloads per cell for -synch-sweep")
 	validateTrace := fs.String("validate-trace", "", "validate a trace file produced by -trace and exit (used by the CI trace smoke job)")
 	parallel := fs.Int("parallel", 1, "run each figure's independent cells on this many workers (simulated results are identical to serial)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -70,6 +74,10 @@ func run(args []string) (retErr error) {
 
 	if *benchJSON != "" || *benchCompare != "" {
 		return runBaseline(*benchJSON, *benchCompare, *benchRounds)
+	}
+
+	if *synchSweep != "" {
+		return runSynchSweep(*synchSweep, *synchSeeds, *seed)
 	}
 
 	if *validateTrace != "" {
@@ -210,6 +218,37 @@ func runBaseline(writePath, comparePath string, rounds int) error {
 			return fmt.Errorf("%d benchmark regression(s) against %s", len(regressions), comparePath)
 		}
 		fmt.Printf("# no regressions against %s\n", comparePath)
+	}
+	return nil
+}
+
+// runSynchSweep implements -synch-sweep: every topology shape x routing
+// scheme x mailbox variant cell runs seedsPerCell clean workloads under
+// the synchronizability oracle, and the per-cell tallies are written as
+// JSON (the nightly job uploads the file as an artifact). A sweep with
+// any violation, runtime failure, or delivery failure exits nonzero.
+func runSynchSweep(path string, seedsPerCell int, base int64) error {
+	if seedsPerCell < 1 {
+		return fmt.Errorf("-synch-seeds must be at least 1, have %d", seedsPerCell)
+	}
+	sum := simtest.SweepSynch(seedsPerCell, base)
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# synch sweep: %d runs, %d synchronizable, %d violations (wrote %s)\n",
+		sum.Runs, sum.Synchronizable, sum.Violations, path)
+	for _, cell := range sum.Cells {
+		if cell.FirstViolation != "" {
+			fmt.Fprintf(os.Stderr, "VIOLATION %s/%s/%s: %s\n", cell.Topo, cell.Scheme, cell.Variant, cell.FirstViolation)
+		}
+	}
+	if sum.Violations > 0 || sum.RuntimeFailures > 0 || sum.DeliveryFailures > 0 {
+		return fmt.Errorf("synch sweep found %d violations, %d runtime failures, %d delivery failures",
+			sum.Violations, sum.RuntimeFailures, sum.DeliveryFailures)
 	}
 	return nil
 }

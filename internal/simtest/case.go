@@ -226,5 +226,15 @@ func (c Case) validate() error {
 	if c.Phases <= 0 || c.Msgs < 0 || c.Capacity <= 0 || c.MaxPayload < 0 || c.TTL < 0 || c.BcastEvery < 0 {
 		return fmt.Errorf("simtest: invalid workload dimensions in %q", c.String())
 	}
+	// Deterministic spawn keys (see msgKey in oracle.go) pack the parent
+	// sequence number into 8-bit fields: per-rank top-level send counts
+	// must stay below 128 and spawn depth below 3. FromSeed stays far
+	// inside both bounds.
+	if c.Phases*c.Msgs > 127 {
+		return fmt.Errorf("simtest: %d sends per rank overflow the deterministic spawn-key encoding (max 127)", c.Phases*c.Msgs)
+	}
+	if c.TTL > 2 {
+		return fmt.Errorf("simtest: ttl %d overflows the deterministic spawn-key encoding (max 2)", c.TTL)
+	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ygm/internal/machine"
+	"ygm/internal/synch"
 	"ygm/internal/transport"
 	"ygm/internal/ygm"
 )
@@ -21,86 +22,102 @@ const watchdogInterval = 25 * time.Millisecond
 // itself a termination-detection failure.
 const testEmptySpinCap = 1 << 22
 
-// RunCase executes one fuzz workload and checks it against the oracle.
-// A nil return means the run completed and every delivery-semantics
-// property held; the error otherwise describes the violation (oracle
-// verdict, rank panic, or deadlock-watchdog dump).
-func RunCase(c Case) error { return RunCaseTraced(c, nil) }
+// Outcome is the full multi-oracle verdict of one fuzz run. The three
+// error fields are independent dimensions: Runtime reports rank panics,
+// deadlock-watchdog dumps, or invalid cases (nothing else was checked);
+// Delivery is the exactly-once/path-conformance oracle verdict; Synch is
+// the synchronizability oracle verdict (the run's event log was not
+// reorder-equivalent to synchronous rounds, or its certificate failed
+// independent validation).
+type Outcome struct {
+	Runtime  error
+	Delivery error
+	Synch    error
+	// Cert is the validated synchronous round schedule when Synch is nil
+	// and SynchChecked is true.
+	Cert *synch.Certificate
+	// SynchChecked reports whether the synchronizability oracle ran at
+	// all (it is skipped when the run died at the Runtime level).
+	SynchChecked bool
+}
+
+// Err flattens the outcome into the single error RunCase reports:
+// runtime failures first (the other oracles saw a truncated run), then
+// delivery, then synchronizability.
+func (o Outcome) Err() error {
+	switch {
+	case o.Runtime != nil:
+		return o.Runtime
+	case o.Delivery != nil:
+		return o.Delivery
+	default:
+		return o.Synch
+	}
+}
+
+// RunCase executes one fuzz workload and checks it against every
+// oracle. A nil return means the run completed and every
+// delivery-semantics and synchronizability property held; the error
+// otherwise describes the first violation (see Outcome.Err).
+func RunCase(c Case) error { return RunCaseOutcome(c, nil).Err() }
 
 // RunCaseTraced is RunCase with an extra tracer riding alongside the
-// oracle — the observability layer's packet and span events mirror into
-// tr while the oracle still sees (and judges) every packet. Used by the
-// CI trace smoke job to prove trace export works on real fuzz traffic.
+// oracles — the observability layer's packet and span events mirror
+// into tr while the oracles still see (and judge) every packet. Used by
+// the CI trace smoke job to prove trace export works on real fuzz
+// traffic.
 func RunCaseTraced(c Case, tr transport.Tracer) error {
+	return RunCaseOutcome(c, tr).Err()
+}
+
+// RunCaseOutcome executes one fuzz workload and returns the per-oracle
+// verdicts separately, so callers (the mutation smoke test, the
+// synchronizability sweep) can tell which oracle saw what.
+func RunCaseOutcome(c Case, tr transport.Tracer) Outcome {
+	out, _ := runCaseLogged(c, tr)
+	return out
+}
+
+// runCaseLogged is RunCaseOutcome plus the frozen synchronizability
+// event log (nil when the run died at the Runtime level), for the
+// cross-validation replay's script comparison.
+func runCaseLogged(c Case, tr transport.Tracer) (Outcome, *synch.Log) {
 	if err := c.validate(); err != nil {
-		return err
+		return Outcome{Runtime: err}, nil
 	}
 	topo := c.Topo()
 	o := newOracle(topo, c.Scheme, c.Phases)
+	rec := synch.NewRecorder(topo.WorldSize())
 	hooks := c.Mutant.hooks()
-	var trace transport.Tracer = o
-	if tr != nil {
-		trace = &teeTracer{a: o, b: tr}
-	}
 	cfg := transport.Config{
 		Topo:             topo,
 		Seed:             c.Seed,
-		Trace:            trace,
+		Trace:            transport.NewMultiTracer(o, rec, tr),
 		WatchdogInterval: watchdogInterval,
 	}
 	if c.Jitter {
 		cfg.Delay = jitterDelay(c.Seed, topo.WorldSize())
 	}
 	_, err := transport.Run(cfg, func(p *transport.Proc) error {
-		return runRank(p, c, o, hooks)
+		return runRank(p, c, o, rec, hooks)
 	})
 	if err != nil {
-		return err
+		return Outcome{Runtime: err}, nil
 	}
-	return o.validate()
-}
-
-// teeTracer fans every Tracer callback out to two sinks and forwards
-// SpanObserver callbacks to whichever sinks implement the extension.
-// It always satisfies transport.SpanObserver so the runtime enables
-// span emission whenever either side wants it.
-type teeTracer struct{ a, b transport.Tracer }
-
-func (t *teeTracer) PacketSent(src, dst machine.Rank, tag transport.Tag, size int, sent, arrive float64) {
-	t.a.PacketSent(src, dst, tag, size, sent, arrive)
-	t.b.PacketSent(src, dst, tag, size, sent, arrive)
-}
-
-func (t *teeTracer) PacketReceived(src, dst machine.Rank, tag transport.Tag, size int, now float64) {
-	t.a.PacketReceived(src, dst, tag, size, now)
-	t.b.PacketReceived(src, dst, tag, size, now)
-}
-
-func (t *teeTracer) SpanBegin(rank machine.Rank, name string, at float64) {
-	if so, ok := t.a.(transport.SpanObserver); ok {
-		so.SpanBegin(rank, name, at)
+	out := Outcome{Delivery: o.validate(), SynchChecked: true}
+	log := rec.Log()
+	v := synch.Check(log)
+	switch {
+	case !v.OK:
+		out.Synch = fmt.Errorf("synchronizability: %v", v.Violation)
+	default:
+		if err := synch.ValidateCertificate(log, v.Cert); err != nil {
+			out.Synch = fmt.Errorf("synchronizability: certificate failed independent validation: %v", err)
+		} else {
+			out.Cert = v.Cert
+		}
 	}
-	if so, ok := t.b.(transport.SpanObserver); ok {
-		so.SpanBegin(rank, name, at)
-	}
-}
-
-func (t *teeTracer) SpanEnd(rank machine.Rank, name string, at float64) {
-	if so, ok := t.a.(transport.SpanObserver); ok {
-		so.SpanEnd(rank, name, at)
-	}
-	if so, ok := t.b.(transport.SpanObserver); ok {
-		so.SpanEnd(rank, name, at)
-	}
-}
-
-func (t *teeTracer) Mark(rank machine.Rank, name string, value uint64, at float64) {
-	if so, ok := t.a.(transport.SpanObserver); ok {
-		so.Mark(rank, name, value, at)
-	}
-	if so, ok := t.b.(transport.SpanObserver); ok {
-		so.Mark(rank, name, value, at)
-	}
+	return out, log
 }
 
 // jitterDelay builds a seeded per-source delay injector: every packet
@@ -119,23 +136,34 @@ func jitterDelay(seed int64, world int) transport.DelayFn {
 }
 
 // runRank is the SPMD body of one rank: Phases rounds of seeded sends
-// followed by a quiescence barrier, with the oracle recording every
-// logical event on this rank's goroutine.
-func runRank(p *transport.Proc, c Case, o *oracle, hooks *ygm.TestHooks) error {
+// followed by a quiescence barrier, with the delivery oracle and the
+// synchronizability recorder logging every logical event on this rank's
+// goroutine.
+func runRank(p *transport.Proc, c Case, o *oracle, rec *synch.Recorder, hooks *ygm.TestHooks) error {
 	me := p.Rank()
 	world := p.WorldSize()
 	rng := rand.New(rand.NewSource(c.Seed*1000003 + int64(me)*8191 + 17))
 
 	handler := func(s ygm.Sender, payload []byte) {
 		m, ok := o.recordDelivery(me, payload)
+		if ok {
+			rec.Recv(me, m.key.key64())
+		}
 		if !ok || m.bcast || m.ttl <= 0 {
 			return
 		}
 		// Data-dependent spawn (the graph-traversal pattern): the child
 		// inherits the parent's phase so barrier accounting stays sound.
-		dst := machine.Rank(rng.Intn(world))
-		key := o.recordSend(me, false, dst, m.phase)
-		s.Send(dst, encodePayload(key, false, m.phase, m.ttl-1, dst, rng.Intn(c.MaxPayload+1)))
+		// Key, destination, and filler derive from the parent key alone —
+		// never from a shared rng — so every variant and every delivery
+		// interleaving of one case issues the identical command script.
+		key := spawnKey(me, m.key)
+		h := spawnHash(key)
+		dst := machine.Rank(h % uint64(world))
+		fill := int((h >> 32) % uint64(c.MaxPayload+1))
+		o.recordSendKeyed(key, false, dst, m.phase)
+		rec.Spawn(me, key.key64(), dst, m.key.key64())
+		s.Send(dst, encodePayload(key, false, m.phase, m.ttl-1, dst, fill))
 	}
 
 	opts := []ygm.Option{
@@ -187,16 +215,19 @@ func runRank(p *transport.Proc, c Case, o *oracle, hooks *ygm.TestHooks) error {
 		for i := 0; i < c.Msgs; i++ {
 			if c.BcastEvery > 0 && rng.Intn(c.BcastEvery) == 0 {
 				key := o.recordSend(me, true, machine.Nil, phase)
+				rec.Broadcast(me, key.key64())
 				bcast(encodePayload(key, true, phase, 0, machine.Nil, rng.Intn(c.MaxPayload+1)))
 				continue
 			}
 			dst := machine.Rank(rng.Intn(world))
 			key := o.recordSend(me, false, dst, phase)
+			rec.Send(me, key.key64(), dst)
 			send(dst, encodePayload(key, false, phase, c.TTL, dst, rng.Intn(c.MaxPayload+1)))
 		}
 		if err := barrier(); err != nil {
 			return err
 		}
+		rec.Barrier(me, uint64(phase))
 		o.checkBarrier(me, phase)
 	}
 	return nil

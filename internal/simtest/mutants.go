@@ -30,10 +30,30 @@ const (
 	// on its first evaluation, releasing WaitEmpty barriers while
 	// messages may still be in flight.
 	MutantPrematureTerm
+	// MutantReorderDelivery holds the first record of every received
+	// packet and dispatches it after the packet's other records,
+	// inverting per-channel FIFO wherever two same-channel deliveries
+	// were coalesced into one packet. Every exactly-once, path, and
+	// termination counter stays balanced: only the synchronizability
+	// oracle can see it.
+	MutantReorderDelivery
+	// MutantPhaseLeak stashes one unicast delivery and releases it at
+	// the next termination-detection drain — one generation late, but
+	// inside the same quiescence window, so the delivery oracle sees a
+	// normal exactly-once run while per-channel delivery order breaks.
+	MutantPhaseLeak
 )
 
 // Mutants lists the injectable faults (excluding MutantNone).
-var Mutants = []Mutant{MutantWrongHop, MutantDropDelivery, MutantPrematureTerm}
+var Mutants = []Mutant{MutantWrongHop, MutantDropDelivery, MutantPrematureTerm, MutantReorderDelivery, MutantPhaseLeak}
+
+// OrderingMutant reports whether m breaks only delivery ordering —
+// invisible to the exactly-once oracle by design, detectable only by
+// the synchronizability oracle. The mutation smoke test pins both
+// halves of that claim.
+func (m Mutant) OrderingMutant() bool {
+	return m == MutantReorderDelivery || m == MutantPhaseLeak
+}
 
 // String names the mutant.
 func (m Mutant) String() string {
@@ -46,6 +66,10 @@ func (m Mutant) String() string {
 		return "drop"
 	case MutantPrematureTerm:
 		return "earlyterm"
+	case MutantReorderDelivery:
+		return "reorder"
+	case MutantPhaseLeak:
+		return "phaseleak"
 	}
 	return fmt.Sprintf("Mutant(%d)", int(m))
 }
@@ -83,6 +107,24 @@ func (m Mutant) hooks() *ygm.TestHooks {
 	case MutantPrematureTerm:
 		return &ygm.TestHooks{
 			ForceVerdict: func(balanced, unchanged bool) bool { return true },
+		}
+	case MutantReorderDelivery:
+		return &ygm.TestHooks{
+			ReorderPacket: func(at, src machine.Rank) bool { return true },
+		}
+	case MutantPhaseLeak:
+		var leaked atomic.Bool
+		return &ygm.TestHooks{
+			LeakDelivery: func(at machine.Rank, payload []byte) bool {
+				// Claim the first unicast delivery of the run (broadcast
+				// copies are exempt from the per-channel FIFO the
+				// synchronizability oracle checks, so leaking one would
+				// be invisible to every oracle).
+				if m, err := decodePayload(payload); err != nil || m.bcast {
+					return false
+				}
+				return leaked.CompareAndSwap(false, true)
+			},
 		}
 	}
 	panic(fmt.Sprintf("simtest: unknown mutant %d", int(m)))

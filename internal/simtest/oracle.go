@@ -8,18 +8,52 @@ import (
 
 	"ygm/internal/codec"
 	"ygm/internal/machine"
+	"ygm/internal/synch"
 	"ygm/internal/transport"
 )
 
 // msgKey identifies one logical application message: the rank that
 // created it and that rank's private sequence number. Broadcast copies
 // of one SendBcast share a key.
+//
+// Sequence numbers are structured so the whole command script is
+// deterministic across mailbox variants (the cross-validation replay
+// depends on it): top-level sends take even numbers (i<<1, allocated in
+// program order), and a handler-spawned child derives its number from
+// its parent as parent.seq<<8 | parent.origin<<1 | 1 — injective for
+// per-rank send counts below 128 and spawn depths (TTL) up to 2, which
+// Case.validate enforces.
 type msgKey struct {
 	origin machine.Rank
 	seq    uint64
 }
 
 func (k msgKey) String() string { return fmt.Sprintf("%d#%d", k.origin, k.seq) }
+
+// key64 packs the key for the synchronizability recorder.
+func (k msgKey) key64() uint64 { return synch.Key64(k.origin, k.seq) }
+
+// spawnKey derives the deterministic key of a handler-spawned child
+// message at rank me reacting to parent. The encoding keeps child keys
+// disjoint from top-level (even) sequence numbers and injective across
+// parents, so a lazy run and its synchronous replay allocate identical
+// keys no matter the delivery interleaving.
+func spawnKey(me machine.Rank, parent msgKey) msgKey {
+	return msgKey{origin: me, seq: parent.seq<<8 | uint64(parent.origin)<<1 | 1}
+}
+
+// spawnHash expands a spawn key into the child's destination and filler
+// choices (splitmix64 finalizer), replacing the shared per-rank rng
+// whose draw order would depend on delivery order.
+func spawnHash(k msgKey) uint64 {
+	x := uint64(k.origin)*0x9e3779b97f4a7c15 + k.seq + 0x632be59bd9b4e019
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
 
 // payload wire format (encoded with internal/codec):
 //
@@ -241,19 +275,27 @@ func (o *oracle) PacketReceived(src, dst machine.Rank, tag transport.Tag, size i
 	o.pktRecv.Add(1)
 }
 
-// recordSend logs one logical send on the origin's goroutine, before the
-// mailbox call, and bumps the phase expectation.
+// recordSend logs one top-level send on the origin's goroutine, before
+// the mailbox call, and bumps the phase expectation. Top-level keys take
+// even sequence numbers; see msgKey.
 func (o *oracle) recordSend(origin machine.Rank, bcast bool, dst machine.Rank, phase int) msgKey {
 	rk := &o.ranks[origin]
-	key := msgKey{origin: origin, seq: rk.seq}
+	key := msgKey{origin: origin, seq: rk.seq << 1}
 	rk.seq++
+	o.recordSendKeyed(key, bcast, dst, phase)
+	return key
+}
+
+// recordSendKeyed logs one send under a caller-chosen key (handler
+// spawns derive theirs from the parent, so no counter is consumed).
+func (o *oracle) recordSendKeyed(key msgKey, bcast bool, dst machine.Rank, phase int) {
+	rk := &o.ranks[key.origin]
 	rk.sends = append(rk.sends, sendRec{key: key, bcast: bcast, dst: dst, phase: phase})
 	if bcast {
 		o.expected[phase].Add(uint64(o.topo.WorldSize() - 1))
 	} else {
 		o.expected[phase].Add(1)
 	}
-	return key
 }
 
 // recordDelivery logs one handler invocation on the delivering rank's

@@ -71,6 +71,9 @@ func reductions(c Case) []Case {
 	m.Msgs = c.Msgs - 1
 	add(m)
 	m = c
+	m.Capacity = c.Capacity / 2
+	add(m)
+	m = c
 	m.TTL = 0
 	add(m)
 	m = c

@@ -83,11 +83,17 @@ func TestSimFuzz(t *testing.T) {
 // for each mutant; ISSUE requires detection within the default budget.
 const mutationBudget = 24
 
-// TestMutationSmoke proves the oracle has teeth: each deliberately
+// TestMutationSmoke proves the oracles have teeth: each deliberately
 // broken build (wrong next-hop, dropped delivery, premature termination
-// verdict) must be detected — a non-nil RunCase error — within the seed
-// budget. A mutant surviving every workload means the harness is
-// vacuously green.
+// verdict, reordered or leaked delivery) must be detected — a non-nil
+// RunCase error — within the seed budget. A mutant surviving every
+// workload means the harness is vacuously green.
+//
+// The two ordering mutants additionally pin the synchronizability
+// oracle's exclusive jurisdiction: on every workload tried, the run must
+// stay clean at the runtime and delivery-semantics level (the
+// exactly-once oracle is blind to pure reorderings by design), and
+// detection must come from the Synch verdict alone.
 func TestMutationSmoke(t *testing.T) {
 	for _, m := range Mutants {
 		m := m
@@ -101,9 +107,32 @@ func TestMutationSmoke(t *testing.T) {
 						// detector to sabotage.
 						continue
 					}
+					if m.OrderingMutant() {
+						// The reorder and leak hooks live in the lazy
+						// mailbox's packet and delivery paths. TTL=0 keeps
+						// the leaked release from spawning new traffic
+						// after the quiescence verdict; jitter off keeps
+						// the runs cheap and reproducible.
+						if c.Variant != VariantLazy {
+							continue
+						}
+						c.TTL = 0
+						c.Jitter = false
+					}
 					c.Mutant = m
 					tried++
-					if RunCase(c) != nil {
+					if m.OrderingMutant() {
+						out := RunCaseOutcome(c, nil)
+						if out.Runtime != nil {
+							t.Fatalf("ordering mutant %s broke case %s at the runtime level: %v", m, c, out.Runtime)
+						}
+						if out.Delivery != nil {
+							t.Fatalf("ordering mutant %s is visible to the delivery oracle on %s — it is not a pure reordering: %v", m, c, out.Delivery)
+						}
+						if out.Synch != nil {
+							detected++
+						}
+					} else if RunCase(c) != nil {
 						detected++
 					}
 				}
@@ -113,6 +142,82 @@ func TestMutationSmoke(t *testing.T) {
 			}
 			t.Fatalf("mutant %s survived all %d workloads — the oracle is blind to it", m, tried)
 		})
+	}
+}
+
+// TestCrossValidateSync exercises the strongest synchronizability
+// claim: for clean workloads, an actual synchronous (ALLTOALLV)
+// execution of the lazy run's exact command script exists, and the two
+// certificates agree on every message's application-phase window.
+func TestCrossValidateSync(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 12; seed++ {
+		base := FromSeed(seed)
+		for _, s := range machine.Schemes {
+			c := base
+			c.Scheme = s
+			if err := CrossValidateSync(c); err != nil {
+				t.Fatalf("cross-validation failed for %s: %v", c, err)
+			}
+		}
+	}
+}
+
+// TestCrossValidateSyncRejectsOrderingMutant checks the replay mode is
+// not vacuous: a lazy run broken by an ordering mutant must fail
+// cross-validation (via its own synchronizability verdict).
+func TestCrossValidateSyncRejectsOrderingMutant(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < mutationBudget; seed++ {
+		for _, s := range machine.Schemes {
+			c := FromSeed(seed)
+			c.Scheme = s
+			c.Variant = VariantLazy
+			c.TTL = 0
+			c.Jitter = false
+			c.Mutant = MutantReorderDelivery
+			if err := CrossValidateSync(c); err != nil {
+				if !strings.Contains(err.Error(), "lazy run failed") {
+					t.Fatalf("cross-validation of %s failed outside the lazy run: %v", c, err)
+				}
+				return
+			}
+		}
+	}
+	t.Fatalf("no workload within the budget made cross-validation reject the reorder mutant")
+}
+
+// TestShrinkReorderRepro pins the shrinker on the new failure
+// dimension: a synchronizability violation from the reorder mutant must
+// minimize to a tiny command script (at most 4 sends per rank), so the
+// printed repro is actually readable.
+func TestShrinkReorderRepro(t *testing.T) {
+	t.Parallel()
+	var c Case
+	found := false
+	for seed := int64(0); seed < mutationBudget && !found; seed++ {
+		for _, s := range machine.Schemes {
+			cand := FromSeed(seed)
+			cand.Scheme = s
+			cand.Variant = VariantLazy
+			cand.TTL = 0
+			cand.Jitter = false
+			cand.Mutant = MutantReorderDelivery
+			if StillFails(cand, 2) {
+				c, found = cand, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no failing reorder workload within the budget; mutation smoke should have caught this")
+	}
+	small := Shrink(c, func(cand Case) bool { return StillFails(cand, *flagRetry) })
+	if !StillFails(small, *flagRetry) {
+		t.Fatalf("shrunk case %s no longer fails", small)
+	}
+	if small.Phases*small.Msgs > 4 {
+		t.Fatalf("reorder repro did not shrink to <= 4 commands per rank: %s", small)
 	}
 }
 

@@ -1,0 +1,313 @@
+package synch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// genMsg is one scheduled message of a generated round-structured MSC.
+type genMsg struct {
+	key         uint64
+	origin, dst int
+	round       int
+	bcast       bool
+	spawned     bool
+	parent      uint64
+}
+
+// genRoundLog builds a log from an explicit synchronous round schedule:
+// for each round every rank first appends its sends (in key order, so
+// same-channel FIFO holds by construction), then its receives in a
+// random cross-channel order with same-channel receives kept in send
+// order. Some messages of round r+1 are spawned children of round-r
+// deliveries (never across a barrier — quiescence settles every spawn
+// tree inside its phase), recorded with the causal Spawned/Parent link.
+// Barriers are inserted on every rank after each barrierEvery rounds.
+// The result is synchronizable by construction with at most `rounds`
+// rounds.
+func genRoundLog(rng *rand.Rand, world, rounds, msgsPerRound, barrierEvery int) (*Log, []genMsg) {
+	l := &Log{World: world, Events: make([][]Event, world)}
+	var msgs []genMsg
+	var prevDeliv []genMsg // previous round's deliveries, same phase window
+	var key uint64
+	barID := uint64(1)
+	for round := 0; round < rounds; round++ {
+		var thisRound []genMsg
+		n := 1 + rng.Intn(msgsPerRound)
+		for i := 0; i < n; i++ {
+			key++
+			m := genMsg{key: key, round: round}
+			if len(prevDeliv) > 0 && rng.Intn(3) == 0 {
+				// Handler reaction: spawned at the rank that delivered the
+				// parent, strictly one round later.
+				p := prevDeliv[rng.Intn(len(prevDeliv))]
+				dr := p.dst
+				if p.bcast {
+					dr = rng.Intn(world - 1)
+					if dr >= p.origin {
+						dr++
+					}
+				}
+				m.origin = dr
+				m.dst = rng.Intn(world)
+				m.spawned = true
+				m.parent = p.key
+			} else {
+				m.origin = rng.Intn(world)
+				if world > 1 && rng.Intn(8) == 0 {
+					m.bcast = true
+				} else {
+					m.dst = rng.Intn(world)
+				}
+			}
+			thisRound = append(thisRound, m)
+			msgs = append(msgs, m)
+		}
+		// Sends, in per-rank key order.
+		for _, m := range thisRound {
+			if m.bcast {
+				l.Events[m.origin] = append(l.Events[m.origin], Event{Kind: KindBcast, Key: m.key, Dst: -1})
+			} else {
+				l.Events[m.origin] = append(l.Events[m.origin],
+					Event{Kind: KindSend, Key: m.key, Dst: int32(m.dst), Spawned: m.spawned, Parent: m.parent})
+			}
+		}
+		// Receives: per destination, shuffle across channels but keep
+		// each unicast channel's messages in send (key) order by
+		// rewriting that channel's slots in place.
+		for dst := 0; dst < world; dst++ {
+			var inbound []genMsg
+			for _, m := range thisRound {
+				if m.bcast {
+					if m.origin != dst {
+						inbound = append(inbound, m)
+					}
+				} else if m.dst == dst {
+					inbound = append(inbound, m)
+				}
+			}
+			rng.Shuffle(len(inbound), func(i, j int) { inbound[i], inbound[j] = inbound[j], inbound[i] })
+			perChan := map[int][]int{} // unicast origin -> slot indices
+			for i, m := range inbound {
+				if !m.bcast {
+					perChan[m.origin] = append(perChan[m.origin], i)
+				}
+			}
+			for origin, slots := range perChan {
+				var ordered []genMsg
+				for _, m := range thisRound {
+					if !m.bcast && m.origin == origin && m.dst == dst {
+						ordered = append(ordered, m)
+					}
+				}
+				for i, slot := range slots {
+					inbound[slot] = ordered[i]
+				}
+			}
+			for _, m := range inbound {
+				l.Events[dst] = append(l.Events[dst], Event{Kind: KindRecv, Key: m.key, Dst: -1})
+			}
+		}
+		if barrierEvery > 0 && (round+1)%barrierEvery == 0 {
+			for rank := 0; rank < world; rank++ {
+				l.Events[rank] = append(l.Events[rank], Event{Kind: KindBarrier, Key: barID, Dst: -1})
+			}
+			barID++
+			prevDeliv = nil // phase window closed; no spawning across it
+		} else {
+			prevDeliv = thisRound
+		}
+	}
+	return l, msgs
+}
+
+// shuffleHB applies happens-before-respecting adjacent swaps: two
+// adjacent receives of different channels commute, two adjacent
+// same-round sends of different channels commute, and a receive
+// commutes with an adjacent send unless the send is the receive's own
+// handler reaction (the causal spawn pair) or the receive is the send's
+// own self-delivery. All preserve synchronizability (and the original
+// round schedule's validity) — the last family is exactly the lazy
+// mailbox's freedom to run handlers in the middle of a send loop.
+func shuffleHB(rng *rand.Rand, l *Log, msgs []genMsg, steps int) {
+	byKey := map[uint64]genMsg{}
+	for _, m := range msgs {
+		byKey[m.key] = m
+	}
+	channel := func(e Event) (origin int, round int, bcast bool) {
+		m := byKey[e.Key]
+		return m.origin, m.round, m.bcast
+	}
+	isSend := func(e Event) bool { return e.Kind == KindSend || e.Kind == KindBcast }
+	for s := 0; s < steps; s++ {
+		rank := rng.Intn(l.World)
+		evs := l.Events[rank]
+		if len(evs) < 2 {
+			continue
+		}
+		i := rng.Intn(len(evs) - 1)
+		a, b := evs[i], evs[i+1]
+		switch {
+		case a.Kind == KindRecv && b.Kind == KindRecv:
+			ao, _, ab := channel(a)
+			bo, _, bb := channel(b)
+			if ao != bo || ab != bb {
+				evs[i], evs[i+1] = b, a
+			}
+		case a.Kind == KindSend && b.Kind == KindSend:
+			_, ar, _ := channel(a)
+			_, br, _ := channel(b)
+			if ar == br && a.Dst != b.Dst {
+				evs[i], evs[i+1] = b, a
+			}
+		case a.Kind == KindRecv && isSend(b):
+			if a.Key != b.Key && !(b.Spawned && b.Parent == a.Key) {
+				evs[i], evs[i+1] = b, a
+			}
+		case isSend(a) && b.Kind == KindRecv:
+			if a.Key != b.Key && !(a.Spawned && a.Parent == b.Key) {
+				evs[i], evs[i+1] = b, a
+			}
+		}
+	}
+}
+
+func TestPropSynchronizableAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x59a7))
+	for iter := 0; iter < 200; iter++ {
+		world := 2 + rng.Intn(6)
+		rounds := 1 + rng.Intn(6)
+		l, msgs := genRoundLog(rng, world, rounds, 6, rng.Intn(3))
+		shuffleHB(rng, l, msgs, 64)
+		v := Check(l)
+		if !v.OK {
+			t.Fatalf("iter %d: round-structured log rejected: %v", iter, v.Violation)
+		}
+		if v.Cert.Rounds > rounds {
+			t.Fatalf("iter %d: certificate uses %d rounds for a %d-round schedule",
+				iter, v.Cert.Rounds, rounds)
+		}
+		if err := ValidateCertificate(l, v.Cert); err != nil {
+			t.Fatalf("iter %d: certificate fails independent validation: %v", iter, err)
+		}
+	}
+}
+
+func TestPropInjectedFIFOSwapRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x2f1f))
+	rejected := 0
+	for iter := 0; iter < 200; iter++ {
+		world := 2 + rng.Intn(6)
+		l, msgs := genRoundLog(rng, world, 1+rng.Intn(4), 6, 0)
+		// Find a destination with two receives from the same unicast
+		// channel and swap them.
+		byKey := map[uint64]genMsg{}
+		for _, m := range msgs {
+			byKey[m.key] = m
+		}
+		swapped := false
+	outer:
+		for rank := 0; rank < world && !swapped; rank++ {
+			evs := l.Events[rank]
+			for i := 0; i < len(evs); i++ {
+				if evs[i].Kind != KindRecv || byKey[evs[i].Key].bcast {
+					continue
+				}
+				for j := i + 1; j < len(evs); j++ {
+					if evs[j].Kind != KindRecv || byKey[evs[j].Key].bcast {
+						continue
+					}
+					if byKey[evs[i].Key].origin == byKey[evs[j].Key].origin {
+						evs[i], evs[j] = evs[j], evs[i]
+						swapped = true
+						continue outer
+					}
+				}
+			}
+		}
+		if !swapped {
+			continue // no same-channel pair this iteration
+		}
+		v := Check(l)
+		if v.OK {
+			t.Fatalf("iter %d: same-channel swap accepted", iter)
+		}
+		if v.Violation.Kind != "fifo" {
+			t.Fatalf("iter %d: want fifo violation, got %v", iter, v.Violation)
+		}
+		rejected++
+	}
+	if rejected < 50 {
+		t.Fatalf("generator produced only %d swappable logs; property undertested", rejected)
+	}
+}
+
+func TestPropInjectedCycleRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x77aa))
+	for iter := 0; iter < 200; iter++ {
+		world := 2 + rng.Intn(6)
+		l, _ := genRoundLog(rng, world, 1+rng.Intn(4), 5, rng.Intn(2))
+		// Inject a causal crossing pair between two ranks using fresh
+		// keys — each rank's handler for the other's message spawns its
+		// own: unsatisfiable no matter the surrounding schedule.
+		ka, kb := uint64(1<<40), uint64(1<<40)+1
+		a, b := rng.Intn(world), rng.Intn(world)
+		for b == a {
+			b = (b + 1) % world
+		}
+		l.Events[a] = append(l.Events[a], Event{Kind: KindRecv, Key: kb, Dst: -1},
+			Event{Kind: KindSend, Key: ka, Dst: int32(b), Spawned: true, Parent: kb})
+		l.Events[b] = append(l.Events[b], Event{Kind: KindRecv, Key: ka, Dst: -1},
+			Event{Kind: KindSend, Key: kb, Dst: int32(a), Spawned: true, Parent: ka})
+		v := Check(l)
+		if v.OK {
+			t.Fatalf("iter %d: injected crossing pair accepted", iter)
+		}
+		if v.Violation.Kind != "cycle" {
+			t.Fatalf("iter %d: want cycle violation, got %v", iter, v.Violation)
+		}
+		refs := map[MsgRef]bool{}
+		for _, m := range v.Violation.Cycle {
+			refs[m] = true
+		}
+		if !refs[MsgRef{Key: ka, Copy: -1}] || !refs[MsgRef{Key: kb, Copy: -1}] {
+			t.Fatalf("iter %d: cycle %v does not name the crossing pair", iter, v.Violation.Cycle)
+		}
+	}
+}
+
+func TestPropCertificateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x1cde))
+	for iter := 0; iter < 300; iter++ {
+		world := 1 + rng.Intn(8)
+		l, msgs := genRoundLog(rng, world, 1+rng.Intn(5), 5, rng.Intn(4))
+		shuffleHB(rng, l, msgs, 32)
+		v := Check(l)
+		if !v.OK {
+			t.Fatalf("iter %d: clean log rejected: %v", iter, v.Violation)
+		}
+		if err := ValidateCertificate(l, v.Cert); err != nil {
+			t.Fatalf("iter %d: round-trip validation failed: %v", iter, err)
+		}
+		// A certificate with any message entry removed must be rejected.
+		if len(v.Cert.Phase) > 0 {
+			var victim MsgRef
+			n := rng.Intn(len(v.Cert.Phase))
+			for k := range v.Cert.Phase {
+				if n == 0 {
+					victim = k
+					break
+				}
+				n--
+			}
+			corrupt := &Certificate{Rounds: v.Cert.Rounds, Phase: map[MsgRef]int{}, Barrier: v.Cert.Barrier}
+			for k, p := range v.Cert.Phase {
+				corrupt.Phase[k] = p
+			}
+			delete(corrupt.Phase, victim)
+			if err := ValidateCertificate(l, corrupt); err == nil {
+				t.Fatalf("iter %d: validator accepted certificate missing %v", iter, victim)
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package synch
+
+import "fmt"
+
+// ValidateCertificate re-checks a certificate against the raw log by a
+// greedy per-rank rule walk — a code path deliberately disjoint from
+// the SCC/longest-path machinery in Check, so a checker bug cannot
+// vouch for itself. The rules are the definition of the bounded
+// synchronous model (see the package comment), applied literally:
+//
+//   - every message instance and every barrier has an assigned round in
+//     [0, Rounds);
+//   - application-level sends of one rank have non-decreasing rounds
+//     (program order);
+//   - a spawned send's round is strictly greater than its parent
+//     delivery's round (a handler reaction belongs to a later round)
+//     and non-decreasing across the sends of one handler invocation;
+//   - every send and receive observed after a rank returned from a
+//     barrier has a round strictly greater than that barrier's;
+//   - a rank's barriers have strictly increasing rounds, equal across
+//     ranks (the certificate stores one round per barrier id);
+//   - every message's round is at most the round of the barrier closing
+//     its phase window — the first barrier after its root ancestor's
+//     application-level send (quiescence: a phase's whole spawn tree
+//     settles before the phase's barrier);
+//   - rounds are non-decreasing along each unicast channel's send
+//     order, and per-channel delivery order equals send order (FIFO).
+//
+// Receive order is deliberately unconstrained relative to sends and to
+// other receives: an exchange round's receive set is unordered, and a
+// lazy mailbox interleaves deliveries with the application's send loop.
+func ValidateCertificate(l *Log, cert *Certificate) error {
+	if cert == nil {
+		return fmt.Errorf("synch: nil certificate")
+	}
+	r := resolve(l)
+
+	if viol := checkFIFO(l, r); viol != nil {
+		return fmt.Errorf("synch: certificate cannot cover a fifo violation: %v", viol)
+	}
+
+	phase := func(nd int) (int, error) {
+		ref := r.msgs[nd].ref
+		p, ok := cert.Phase[ref]
+		if !ok {
+			return 0, fmt.Errorf("synch: certificate has no round for message %v", ref)
+		}
+		if p < 0 || p >= cert.Rounds {
+			return 0, fmt.Errorf("synch: message %v assigned round %d outside [0,%d)", ref, p, cert.Rounds)
+		}
+		return p, nil
+	}
+
+	for rank, evs := range l.Events {
+		maxApp, lastBar := -1, -1
+		lastSpawn := make(map[int]int) // parent node -> latest spawn round
+		for i, ev := range evs {
+			switch ev.Kind {
+			case KindSend, KindBcast:
+				var nodes []int
+				if ev.Kind == KindSend {
+					if nd := r.node[rank][i]; nd >= 0 {
+						nodes = []int{nd}
+					}
+				} else {
+					nodes = r.bcastCopies[[2]int{rank, i}]
+				}
+				if len(nodes) == 0 {
+					continue // broadcast nobody received
+				}
+				spawned := ev.Spawned && r.msgs[nodes[0]].parent >= 0
+				// Copies of one broadcast share the send position and are
+				// not mutually ordered: every copy is checked against the
+				// bounds as they stood before the event, then the bounds
+				// advance to the furthest copy.
+				after := maxApp
+				for _, nd := range nodes {
+					p, err := phase(nd)
+					if err != nil {
+						return err
+					}
+					if p <= lastBar {
+						return fmt.Errorf("synch: rank %d sends %v in round %d at or before barrier round %d",
+							rank, r.msgs[nd].ref, p, lastBar)
+					}
+					if spawned {
+						pn := r.msgs[nd].parent
+						pp, err := phase(pn)
+						if err != nil {
+							return err
+						}
+						if p <= pp {
+							return fmt.Errorf("synch: rank %d spawns %v in round %d not after its parent %v's round %d",
+								rank, r.msgs[nd].ref, p, r.msgs[pn].ref, pp)
+						}
+						if ls, ok := lastSpawn[pn]; ok && p < ls {
+							return fmt.Errorf("synch: rank %d spawns %v in round %d after a round-%d spawn of the same handler",
+								rank, r.msgs[nd].ref, p, ls)
+						}
+						lastSpawn[pn] = p
+					} else {
+						if p < maxApp {
+							return fmt.Errorf("synch: rank %d sends %v in round %d after a round-%d send",
+								rank, r.msgs[nd].ref, p, maxApp)
+						}
+						if p > after {
+							after = p
+						}
+					}
+				}
+				if !spawned {
+					maxApp = after
+				}
+			case KindRecv:
+				nd := r.node[rank][i]
+				if nd < 0 {
+					continue // orphan: the delivery oracle's failure class
+				}
+				p, err := phase(nd)
+				if err != nil {
+					return err
+				}
+				if p <= lastBar {
+					return fmt.Errorf("synch: rank %d receives %v in round %d at or before barrier round %d",
+						rank, r.msgs[nd].ref, p, lastBar)
+				}
+			case KindBarrier:
+				b, ok := cert.Barrier[ev.Key]
+				if !ok {
+					return fmt.Errorf("synch: certificate has no round for barrier %d", ev.Key)
+				}
+				if b < 0 || b >= cert.Rounds {
+					return fmt.Errorf("synch: barrier %d assigned round %d outside [0,%d)", ev.Key, b, cert.Rounds)
+				}
+				if b <= lastBar {
+					return fmt.Errorf("synch: rank %d passes barrier %d (round %d) not after barrier round %d",
+						rank, ev.Key, b, lastBar)
+				}
+				lastBar = b
+			}
+		}
+	}
+
+	// Phase windows: no message outlives the barrier that closes its
+	// root's phase.
+	for nd := range r.msgs {
+		m := &r.msgs[nd]
+		if m.rootBar < 0 {
+			continue // no barrier follows the root send; window unbounded
+		}
+		p, err := phase(nd)
+		if err != nil {
+			return err
+		}
+		id := r.barrierIDs[m.rootBar]
+		b, ok := cert.Barrier[id]
+		if !ok {
+			return fmt.Errorf("synch: certificate has no round for barrier %d", id)
+		}
+		if p > b {
+			return fmt.Errorf("synch: message %v assigned round %d outside its phase window (barrier %d closes round %d)",
+				m.ref, p, id, b)
+		}
+	}
+
+	// Channel monotonicity: along each unicast channel's send order
+	// (node creation order is per-rank program order), delivered
+	// messages' rounds never decrease.
+	chanLast := make(map[[2]int32]int)
+	for nd := range r.msgs {
+		m := &r.msgs[nd]
+		if !m.unicast || m.dst < 0 {
+			continue
+		}
+		p, err := phase(nd)
+		if err != nil {
+			return err
+		}
+		ch := [2]int32{m.origin, m.dst}
+		if prev, ok := chanLast[ch]; ok && p < prev {
+			return fmt.Errorf("synch: channel %d->%d rounds decrease: %v in round %d after round %d",
+				m.origin, m.dst, m.ref, p, prev)
+		}
+		chanLast[ch] = p
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package transport
+
+import "ygm/internal/machine"
+
+// NewMultiTracer composes any number of Tracers into one that fans
+// every packet event out to all of them, in argument order. It replaces
+// the ad-hoc per-call-site tee types that used to live in the harness.
+//
+// Nil entries are dropped. Zero live tracers compose to nil — callers
+// hand the result straight to Config.Trace and keep the nil fast path —
+// and a single live tracer is returned as itself, unwrapped, so its
+// dynamic type (and any SpanObserver implementation) is preserved
+// without an indirection layer.
+//
+// Span events follow the same one-time type-assertion contract as
+// transport.Run: the composite implements SpanObserver only when at
+// least one child does, so a stack of plain Tracers still lets Run take
+// its no-span fast path. Children that do not implement SpanObserver
+// simply never see span events.
+func NewMultiTracer(tracers ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(tracers))
+	spans := make([]SpanObserver, 0, len(tracers))
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		live = append(live, t)
+		if so, ok := t.(SpanObserver); ok {
+			spans = append(spans, so)
+		}
+	}
+	switch {
+	case len(live) == 0:
+		return nil
+	case len(live) == 1:
+		return live[0]
+	case len(spans) == 0:
+		return multiTracer(live)
+	default:
+		return &multiTracerSpans{multiTracer: multiTracer(live), spans: spans}
+	}
+}
+
+// multiTracer is the span-free composite: it deliberately does NOT
+// implement SpanObserver, so Run's one-time type assertion fails and
+// the per-span fast path stays nil when no child wants spans.
+type multiTracer []Tracer
+
+func (m multiTracer) PacketSent(src, dst machine.Rank, tag Tag, size int, sent, arrive float64) {
+	for _, t := range m {
+		t.PacketSent(src, dst, tag, size, sent, arrive)
+	}
+}
+
+func (m multiTracer) PacketReceived(src, dst machine.Rank, tag Tag, size int, now float64) {
+	for _, t := range m {
+		t.PacketReceived(src, dst, tag, size, now)
+	}
+}
+
+// multiTracerSpans adds span fan-out on top of the packet fan-out, for
+// composites where at least one child implements SpanObserver.
+type multiTracerSpans struct {
+	multiTracer
+	spans []SpanObserver
+}
+
+func (m *multiTracerSpans) SpanBegin(rank machine.Rank, name string, t float64) {
+	for _, s := range m.spans {
+		s.SpanBegin(rank, name, t)
+	}
+}
+
+func (m *multiTracerSpans) SpanEnd(rank machine.Rank, name string, t float64) {
+	for _, s := range m.spans {
+		s.SpanEnd(rank, name, t)
+	}
+}
+
+func (m *multiTracerSpans) Mark(rank machine.Rank, name string, value uint64, t float64) {
+	for _, s := range m.spans {
+		s.Mark(rank, name, value, t)
+	}
+}

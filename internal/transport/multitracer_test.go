@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"testing"
+
+	"ygm/internal/machine"
+)
+
+// countTracer is a plain Tracer (no SpanObserver).
+type countTracer struct {
+	sent, recv int
+}
+
+func (c *countTracer) PacketSent(src, dst machine.Rank, tag Tag, size int, sent, arrive float64) {
+	c.sent++
+}
+
+func (c *countTracer) PacketReceived(src, dst machine.Rank, tag Tag, size int, now float64) {
+	c.recv++
+}
+
+// spanTracer additionally implements SpanObserver.
+type spanTracer struct {
+	countTracer
+	begins, ends, marks int
+}
+
+func (s *spanTracer) SpanBegin(rank machine.Rank, name string, t float64) { s.begins++ }
+func (s *spanTracer) SpanEnd(rank machine.Rank, name string, t float64)   { s.ends++ }
+func (s *spanTracer) Mark(rank machine.Rank, name string, value uint64, t float64) {
+	s.marks++
+}
+
+func TestMultiTracerNilFastPath(t *testing.T) {
+	if got := NewMultiTracer(); got != nil {
+		t.Fatalf("empty composition wants nil, got %T", got)
+	}
+	if got := NewMultiTracer(nil, nil); got != nil {
+		t.Fatalf("all-nil composition wants nil, got %T", got)
+	}
+}
+
+func TestMultiTracerSingleUnwrapped(t *testing.T) {
+	c := &countTracer{}
+	if got := NewMultiTracer(nil, c, nil); got != Tracer(c) {
+		t.Fatalf("single live tracer wants identity, got %T", got)
+	}
+	s := &spanTracer{}
+	got := NewMultiTracer(s)
+	if got != Tracer(s) {
+		t.Fatalf("single span tracer wants identity, got %T", got)
+	}
+	if _, ok := got.(SpanObserver); !ok {
+		t.Fatalf("unwrapped span tracer lost its SpanObserver implementation")
+	}
+}
+
+func TestMultiTracerFansOutPackets(t *testing.T) {
+	a, b := &countTracer{}, &countTracer{}
+	m := NewMultiTracer(a, nil, b)
+	m.PacketSent(0, 1, 0, 64, 0, 1e-6)
+	m.PacketSent(1, 0, 0, 64, 0, 1e-6)
+	m.PacketReceived(0, 1, 0, 64, 1e-6)
+	if a.sent != 2 || b.sent != 2 || a.recv != 1 || b.recv != 1 {
+		t.Fatalf("fan-out miscounted: a=%+v b=%+v", a, b)
+	}
+}
+
+// TestMultiTracerNoSpanChildren pins the fast-path contract with
+// transport.Run: a composite of plain Tracers must NOT satisfy
+// SpanObserver, so Run's one-time type assertion keeps span dispatch
+// disabled.
+func TestMultiTracerNoSpanChildren(t *testing.T) {
+	m := NewMultiTracer(&countTracer{}, &countTracer{})
+	if _, ok := m.(SpanObserver); ok {
+		t.Fatalf("span-free composite %T must not implement SpanObserver", m)
+	}
+}
+
+func TestMultiTracerForwardsSpans(t *testing.T) {
+	plain := &countTracer{}
+	s1, s2 := &spanTracer{}, &spanTracer{}
+	m := NewMultiTracer(plain, s1, s2)
+	so, ok := m.(SpanObserver)
+	if !ok {
+		t.Fatalf("composite with span children %T must implement SpanObserver", m)
+	}
+	so.SpanBegin(0, "drain", 1)
+	so.SpanEnd(0, "drain", 2)
+	so.Mark(1, "gen", 3, 2.5)
+	so.Mark(1, "gen", 4, 2.5)
+	for i, s := range []*spanTracer{s1, s2} {
+		if s.begins != 1 || s.ends != 1 || s.marks != 2 {
+			t.Fatalf("span child %d missed events: %+v", i, s)
+		}
+	}
+	// Packet events still reach every child, span-capable or not.
+	m.PacketSent(0, 1, 0, 8, 0, 1)
+	if plain.sent != 1 || s1.sent != 1 || s2.sent != 1 {
+		t.Fatalf("packet fan-out broken alongside spans: %d %d %d", plain.sent, s1.sent, s2.sent)
+	}
+}

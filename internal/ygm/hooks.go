@@ -40,6 +40,19 @@ type TestHooks struct {
 	// the honest four-counter condition; returning true while either is
 	// false manufactures a premature termination.
 	ForceVerdict func(balanced, unchanged bool) bool
+	// ReorderPacket, when non-nil and returning true for a packet,
+	// makes processPacket hold that packet's first record and dispatch
+	// it after all its other records — inverting per-channel FIFO
+	// whenever two same-channel deliveries were coalesced together,
+	// while every transport- and delivery-level counter stays balanced.
+	ReorderPacket func(at, src machine.Rank) bool
+	// LeakDelivery, when non-nil and returning true, stashes one
+	// delivery instead of invoking the handler and releases it at the
+	// start of the next termination-detection drain (or, failing that,
+	// right after the quiescence verdict) — one WaitEmpty generation
+	// late, but still inside the same quiescence window, so the
+	// exactly-once oracle sees nothing while delivery order breaks.
+	LeakDelivery func(at machine.Rank, payload []byte) bool
 }
 
 // nextHop routes one unicast record held by cur, honoring a mutation
@@ -62,4 +75,16 @@ func (o Options) tapQueued(at, hop, dst machine.Rank, kind recordKind, payload [
 // delivery.
 func (o Options) dropDelivery(at machine.Rank, payload []byte) bool {
 	return o.Hooks != nil && o.Hooks.DropDelivery != nil && o.Hooks.DropDelivery(at, payload)
+}
+
+// reorderPacket reports whether the reorder-injection hook claims this
+// packet.
+func (o Options) reorderPacket(at, src machine.Rank) bool {
+	return o.Hooks != nil && o.Hooks.ReorderPacket != nil && o.Hooks.ReorderPacket(at, src)
+}
+
+// leakDelivery reports whether the leak-injection hook claims this
+// delivery.
+func (o Options) leakDelivery(at machine.Rank, payload []byte) bool {
+	return o.Hooks != nil && o.Hooks.LeakDelivery != nil && o.Hooks.LeakDelivery(at, payload)
 }

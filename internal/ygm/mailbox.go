@@ -217,6 +217,12 @@ type Mailbox struct {
 	// nest packet processing before the watchdog catches it).
 	processing int
 
+	// leakStash holds the one delivery claimed by the LeakDelivery
+	// mutation hook until the next detection generation releases it.
+	// Always empty outside mutation smoke tests.
+	leakStash []byte
+	leakHeld  bool
+
 	// Flush-cause counters, resolved once from the rank's metric
 	// registry: what drove each communication context — capacity
 	// overflow on the send path, forward overflow while dispatching,
@@ -470,6 +476,9 @@ func (mb *Mailbox) flushAll() {
 //ygm:hotpath
 func (mb *Mailbox) processPacket(pkt *transport.Packet) {
 	mb.processing++
+	reorder := mb.opts.reorderPacket(mb.p.Rank(), pkt.Src)
+	var held record
+	var haveHeld bool
 	r := codec.NewReader(pkt.Payload)
 	for r.Remaining() > 0 {
 		rec, err := parseRecord(r)
@@ -481,7 +490,17 @@ func (mb *Mailbox) processPacket(pkt *transport.Packet) {
 		// per-message overhead was already charged when the packet was
 		// received. Coalescing amortizes exactly this difference.
 		mb.p.Compute(mb.cost.handling(len(rec.payload)))
+		if reorder && !haveHeld {
+			// Mutation hook: the first record waits until the rest of
+			// the packet has dispatched; its payload stays valid because
+			// the packet is recycled only after the loop.
+			held, haveHeld = rec, true
+			continue
+		}
 		mb.dispatch(rec)
+	}
+	if haveHeld {
+		mb.dispatch(held)
 	}
 	mb.processing--
 	// Forwards were re-encoded into coalescing slots and deliveries have
@@ -534,13 +553,41 @@ func (mb *Mailbox) dispatch(rec record) {
 	}
 }
 
-// deliver invokes the handler, charging the per-message compute cost.
+// deliver invokes the handler, charging the per-message compute cost;
+// the drop and leak mutation hooks intercept it first.
 //
 //ygm:hotpath
 func (mb *Mailbox) deliver(payload []byte) {
 	if mb.opts.dropDelivery(mb.p.Rank(), payload) {
 		return
 	}
+	if !mb.leakHeld && mb.opts.leakDelivery(mb.p.Rank(), payload) {
+		mb.stashLeak(payload)
+		return
+	}
+	mb.deliverNow(payload)
+}
+
+// stashLeak copies one hook-claimed delivery aside (the payload aliases
+// a packet buffer about to be recycled); releaseLeak replays it.
+// Mutation-test path only, never reached with a nil hook.
+func (mb *Mailbox) stashLeak(payload []byte) {
+	mb.leakStash = append(mb.leakStash[:0], payload...)
+	mb.leakHeld = true
+}
+
+// releaseLeak delivers the stashed leak, if any.
+func (mb *Mailbox) releaseLeak() {
+	if mb.leakHeld {
+		mb.leakHeld = false
+		mb.deliverNow(mb.leakStash)
+	}
+}
+
+// deliverNow is the undeflected tail of deliver.
+//
+//ygm:hotpath
+func (mb *Mailbox) deliverNow(payload []byte) {
 	mb.stats.Delivered++
 	mb.p.Compute(mb.cost.perMsg)
 	if mb.opts.CopyOnDeliver {
@@ -562,6 +609,12 @@ func (mb *Mailbox) deliver(payload []byte) {
 func (mb *Mailbox) drainAvailable() {
 	sp := mb.p.Span("lazy.drain")
 	defer sp.End()
+	if mb.leakHeld {
+		// A leaked delivery (mutation hook) re-enters one detection
+		// generation after it was stashed, before this drain's flush so
+		// anything its handler spawns still rides this wave.
+		mb.releaseLeak()
+	}
 	mb.cFlushDrain.Inc()
 	mb.flushAll()
 	if mb.processing > 0 {
@@ -609,6 +662,10 @@ func (mb *Mailbox) WaitEmpty() {
 		mb.drainAvailable()
 		if mb.term.step(true) {
 			mb.term.reset()
+			// Safety valve for the leak mutation hook: a stash claimed in
+			// the final generation must not outlive the barrier, or the
+			// mutant would turn into a lost delivery.
+			mb.releaseLeak()
 			checkQuiescent(mb.p, mb.queued, "WaitEmpty")
 			return
 		}
@@ -626,6 +683,7 @@ func (mb *Mailbox) TestEmpty() (bool, error) {
 	mb.drainAvailable()
 	if mb.term.step(false) {
 		mb.term.reset()
+		mb.releaseLeak()
 		checkQuiescent(mb.p, mb.queued, "TestEmpty")
 		return true, nil
 	}
