@@ -1,14 +1,18 @@
 // Command graph500 runs the two Graph500 kernels the paper's
 // introduction highlights (LLNL's Sierra submission used YGM for its
-// BFS; SSSP is the benchmark's second kernel) on the simulated cluster:
-// an RMAT graph is built through the mailbox, then BFS and SSSP run from
-// several roots, each validated against a sequential oracle, with
-// harmonic-mean traversed-edges-per-second (TEPS) reported in simulated
-// time.
+// BFS; SSSP is the benchmark's second kernel): an RMAT graph is built
+// through the mailbox, then BFS and SSSP run from several roots, each
+// validated against a sequential oracle, with harmonic-mean
+// traversed-edges-per-second (TEPS) reported.
 //
-// Usage:
+// By default the cluster is simulated (virtual time on the netsim cost
+// model). With -wire=local the same ranks run in real time in one
+// process, and with -wire=tcp the program runs as nodes*cores real OS
+// processes exchanging real bytes over localhost:
 //
 //	graph500 -scale 12 -ef 8 -nodes 8 -cores 8 -roots 4 -scheme NLNR
+//	graph500 -scale 10 -nodes 2 -cores 2 -wire=tcp -spawn
+//	graph500 -nodes 2 -cores 2 -wire=tcp -rank-id 3 -rendezvous 127.0.0.1:9123
 package main
 
 import (
@@ -16,32 +20,46 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"sync"
 
 	"ygm/internal/apps"
+	"ygm/internal/collective"
 	"ygm/internal/graph"
 	"ygm/internal/machine"
-	"ygm/internal/netsim"
 	"ygm/internal/transport"
+	"ygm/internal/wirecli"
 	"ygm/internal/ygm"
 )
 
 func main() {
-	scale := flag.Int("scale", 11, "graph has 2^scale vertices")
-	ef := flag.Int("ef", 8, "edge factor (edges = ef * vertices)")
-	nodes := flag.Int("nodes", 8, "simulated compute nodes")
-	cores := flag.Int("cores", 8, "cores per node")
-	roots := flag.Int("roots", 4, "number of search roots")
-	schemeName := flag.String("scheme", "NLNR", "routing scheme")
-	mailbox := flag.Int("mailbox", 1024, "mailbox capacity (records)")
-	seed := flag.Int64("seed", 12, "workload seed")
-	flag.Parse()
+	fs := flag.NewFlagSet("graph500", flag.ExitOnError)
+	scale := fs.Int("scale", 11, "graph has 2^scale vertices")
+	ef := fs.Int("ef", 8, "edge factor (edges = ef * vertices)")
+	nodes := fs.Int("nodes", 8, "compute nodes")
+	cores := fs.Int("cores", 8, "cores per node")
+	roots := fs.Int("roots", 4, "number of search roots")
+	schemeName := fs.String("scheme", "NLNR", "routing scheme")
+	mailbox := fs.Int("mailbox", 1024, "mailbox capacity (records)")
+	seed := fs.Int64("seed", 12, "workload seed")
+	var wires wirecli.Flags
+	wires.Register(fs)
+	fs.Parse(os.Args[1:])
 
 	scheme, err := machine.ParseScheme(*schemeName)
 	if err != nil {
 		log.Fatal(err)
 	}
 	world := *nodes * *cores
+	if err := wires.Validate(world); err != nil {
+		log.Fatal(err)
+	}
+	if done, err := wires.Launch(world, os.Args[1:]); done {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	n := uint64(1) << uint(*scale)
 	totalEdges := int(n) * *ef
 	edgesPerRank := totalEdges / world
@@ -49,11 +67,21 @@ func main() {
 		log.Fatalf("graph500: %d edges cannot be split over %d ranks", totalEdges, world)
 	}
 
-	fmt.Printf("graph500-style kernels on YGM (%s routing)\n", scheme)
-	fmt.Printf("graph: scale %d (%d vertices), edge factor %d (%d edges), %d ranks\n",
-		*scale, n, *ef, edgesPerRank*world, world)
-	fmt.Printf("note: each kernel generates its own deterministic RMAT stream with identical parameters\n\n")
+	// Under -wire=tcp every process executes this same loop; only rank 0
+	// prints (the kernels allreduce their results, so all processes hold
+	// identical numbers).
+	timeBase := "simulated"
+	if wires.Wire != "sim" {
+		timeBase = "wall"
+	}
+	if wires.IsRoot() {
+		fmt.Printf("graph500-style kernels on YGM (%s routing, %s wire)\n", scheme, wires.Wire)
+		fmt.Printf("graph: scale %d (%d vertices), edge factor %d (%d edges), %d ranks\n",
+			*scale, n, *ef, edgesPerRank*world, world)
+		fmt.Printf("note: each kernel generates its own deterministic RMAT stream with identical parameters\n\n")
+	}
 
+	topo := machine.New(*nodes, *cores)
 	var tepsBFS, tepsSSSP []float64
 	for root := 0; root < *roots; root++ {
 		rootVertex := uint64(root) * (n / uint64(*roots))
@@ -66,11 +94,13 @@ func main() {
 			Seed:         *seed,
 			Root:         rootVertex,
 		}
-		visited, levels, makespan := runBFS(*nodes, *cores, *seed, bfsCfg)
+		visited, levels, makespan := runBFS(&wires, topo, *seed, bfsCfg)
 		teps := float64(edgesPerRank*world) / makespan
 		tepsBFS = append(tepsBFS, teps)
-		fmt.Printf("BFS  root %8d: %7d reached, %2d levels, %8.1f us -> %7.1f MTEPS (simulated)\n",
-			rootVertex, visited, levels, makespan*1e6, teps/1e6)
+		if wires.IsRoot() {
+			fmt.Printf("BFS  root %8d: %7d reached, %2d levels, %8.1f us -> %7.1f MTEPS (%s)\n",
+				rootVertex, visited, levels, makespan*1e6, teps/1e6, timeBase)
+		}
 
 		ssspCfg := apps.SSSPConfig{
 			Mailbox:      ygm.Options{Scheme: scheme, Capacity: *mailbox},
@@ -81,24 +111,39 @@ func main() {
 			Root:         rootVertex,
 			MaxWeight:    255,
 		}
-		visited, relax, makespan := runSSSP(*nodes, *cores, *seed, ssspCfg)
+		visited, relax, makespan := runSSSP(&wires, topo, *seed, ssspCfg)
 		teps = float64(edgesPerRank*world) / makespan
 		tepsSSSP = append(tepsSSSP, teps)
-		fmt.Printf("SSSP root %8d: %7d reached, %7d relaxations, %8.1f us -> %7.1f MTEPS (simulated)\n",
-			rootVertex, visited, relax, makespan*1e6, teps/1e6)
+		if wires.IsRoot() {
+			fmt.Printf("SSSP root %8d: %7d reached, %7d relaxations, %8.1f us -> %7.1f MTEPS (%s)\n",
+				rootVertex, visited, relax, makespan*1e6, teps/1e6, timeBase)
+		}
 	}
 
-	fmt.Printf("\nharmonic mean: BFS %.1f MTEPS, SSSP %.1f MTEPS (simulated time)\n",
-		harmonicMean(tepsBFS)/1e6, harmonicMean(tepsSSSP)/1e6)
+	if wires.IsRoot() {
+		fmt.Printf("\nharmonic mean: BFS %.1f MTEPS, SSSP %.1f MTEPS (%s time)\n",
+			harmonicMean(tepsBFS)/1e6, harmonicMean(tepsSSSP)/1e6, timeBase)
+	}
 }
 
-func runBFS(nodes, cores int, seed int64, cfg apps.BFSConfig) (visited uint64, levels int, makespan float64) {
+// newRunConfig assembles the transport config for one kernel run. A
+// fresh Wire is built per run (they are single-use); under TCP the
+// processes re-rendezvous for every run in the same order, so reusing
+// one rendezvous address is sound.
+func newRunConfig(wires *wirecli.Flags, topo machine.Topology, seed int64) transport.Config {
+	w, err := wires.NewWire()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return transport.NewConfig(topo,
+		transport.WithSeed(seed),
+		transport.WithWire(w),
+	)
+}
+
+func runBFS(wires *wirecli.Flags, topo machine.Topology, seed int64, cfg apps.BFSConfig) (visited uint64, levels int, makespan float64) {
 	var mu sync.Mutex
-	rep, err := transport.Run(transport.Config{
-		Topo:  machine.New(nodes, cores),
-		Model: netsim.Quartz(),
-		Seed:  seed,
-	}, func(p *transport.Proc) error {
+	rep, err := transport.Run(newRunConfig(wires, topo, seed), func(p *transport.Proc) error {
 		res, err := apps.BFS(p, cfg)
 		if err != nil {
 			return err
@@ -115,20 +160,19 @@ func runBFS(nodes, cores int, seed int64, cfg apps.BFSConfig) (visited uint64, l
 	return visited, levels, rep.Makespan()
 }
 
-func runSSSP(nodes, cores int, seed int64, cfg apps.SSSPConfig) (visited, relax uint64, makespan float64) {
+func runSSSP(wires *wirecli.Flags, topo machine.Topology, seed int64, cfg apps.SSSPConfig) (visited, relax uint64, makespan float64) {
 	var mu sync.Mutex
-	rep, err := transport.Run(transport.Config{
-		Topo:  machine.New(nodes, cores),
-		Model: netsim.Quartz(),
-		Seed:  seed,
-	}, func(p *transport.Proc) error {
+	rep, err := transport.Run(newRunConfig(wires, topo, seed), func(p *transport.Proc) error {
 		res, err := apps.SSSP(p, cfg)
 		if err != nil {
 			return err
 		}
+		// Relaxation counts are per-rank; reduce them here so every
+		// process (and the distributed TCP run) reports the global sum.
+		total := collective.World(p).AllreduceU64([]uint64{res.Relaxations}, collective.SumU64)[0]
 		mu.Lock()
 		visited = res.Visited
-		relax += res.Relaxations
+		relax = total
 		mu.Unlock()
 		return nil
 	})

@@ -28,6 +28,7 @@ import (
 	"ygm/internal/bench"
 	"ygm/internal/simtest"
 	"ygm/internal/transport"
+	"ygm/internal/wirecli"
 )
 
 func main() {
@@ -57,7 +58,17 @@ func run(args []string) (retErr error) {
 	parallel := fs.Int("parallel", 1, "run each figure's independent cells on this many workers (simulated results are identical to serial)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (captured after the run) to this path")
+	wireMsgs := fs.Int("wire-msgs", 1<<16, "messages per peer for the -wire=tcp exchange benchmark")
+	var wires wirecli.Flags
+	wires.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if wires.Wire == "tcp" {
+		return runWireBench(&wires, *wireMsgs, *seed, args)
+	}
+	if err := wires.Validate(0); err != nil {
 		return err
 	}
 
@@ -103,6 +114,7 @@ func run(args []string) (retErr error) {
 	if err != nil {
 		return err
 	}
+	p.Wire = wires.Wire
 	if *cores > 0 {
 		p.Cores = *cores
 	}
@@ -154,9 +166,13 @@ func run(args []string) (retErr error) {
 		p.Trace = tracer
 	}
 	if *format == "table" {
-		fmt.Printf("# YGM reproduction benchmarks (preset=%s, cores/node=%d, mailbox=%d, seed=%d)\n",
-			p.Name, p.Cores, p.MailboxCap, p.Seed)
-		fmt.Printf("# times are SIMULATED seconds on the netsim cost model\n\n")
+		fmt.Printf("# YGM reproduction benchmarks (preset=%s, cores/node=%d, mailbox=%d, seed=%d, wire=%s)\n",
+			p.Name, p.Cores, p.MailboxCap, p.Seed, wires.Wire)
+		if wires.Wire == "local" {
+			fmt.Printf("# times are measured WALL seconds (in-process real-time wire)\n\n")
+		} else {
+			fmt.Printf("# times are SIMULATED seconds on the netsim cost model\n\n")
+		}
 	}
 	for _, e := range selected {
 		start := time.Now()

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+	"ygm/internal/wirecli"
+)
+
+// wirePayload is the fixed message size of the exchange benchmark —
+// small enough that message rate, not bandwidth, dominates (the
+// regime MPI Progress For All argues a backend must be measured in).
+const wirePayload = 64
+
+// runWireBench measures the raw TCP wire as real OS processes: every
+// rank streams msgs pooled 64-byte messages to every peer, then drains
+// its own incoming streams, and rank 0 reports aggregate message rate
+// and bandwidth in wall time. The figure sweeps stay on the in-process
+// wires (world sizes vary per cell); this is the backend-facing
+// counterpart, run as `ygm-bench -wire=tcp -ranks 4 -spawn`.
+func runWireBench(fl *wirecli.Flags, msgs int, seed int64, rawArgs []string) error {
+	world := fl.Ranks
+	if world == 0 {
+		world = 4
+	}
+	if err := fl.Validate(world); err != nil {
+		return err
+	}
+	if done, err := fl.Launch(world, rawArgs); done {
+		return err
+	}
+	topo := machine.New(world, 1) // one rank per node: every byte crosses the real wire
+	wire, err := fl.NewWire()
+	if err != nil {
+		return err
+	}
+	rep, err := transport.Run(transport.NewConfig(topo,
+		transport.WithSeed(seed),
+		transport.WithWire(wire),
+	), func(p *transport.Proc) error {
+		me, n := p.Rank(), p.WorldSize()
+		for k := 0; k < msgs; k++ {
+			for d := 0; d < n; d++ {
+				if machine.Rank(d) == me {
+					continue
+				}
+				buf := p.AcquireBuf(wirePayload)
+				binary.LittleEndian.PutUint64(buf, uint64(k))
+				p.SendPooled(machine.Rank(d), transport.TagUser, buf)
+			}
+		}
+		for k := 0; k < msgs*(n-1); k++ {
+			p.Recycle(p.Recv(transport.TagUser))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if fl.IsRoot() {
+		elapsed := rep.Makespan()
+		totalMsgs := float64(msgs * (world - 1) * world)
+		fmt.Printf("# wire exchange benchmark: %d ranks (OS processes), %d msgs/peer, %dB payload\n",
+			world, msgs, wirePayload)
+		fmt.Printf("wall %.3fs  %.0f msgs/s aggregate  %.1f MB/s aggregate  utilization %.2f\n",
+			elapsed, totalMsgs/elapsed, totalMsgs*wirePayload/elapsed/1e6, rep.Utilization())
+	}
+	return nil
+}

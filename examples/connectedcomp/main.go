@@ -42,11 +42,10 @@ func main() {
 
 	var mu sync.Mutex
 	results := make([]*apps.ConnectedComponentsResult, world)
-	report, err := transport.Run(transport.Config{
-		Topo:  machine.New(*nodes, *cores),
-		Model: netsim.Quartz(),
-		Seed:  13,
-	}, func(p *transport.Proc) error {
+	report, err := transport.Run(transport.NewConfig(machine.New(*nodes, *cores),
+		transport.WithModel(netsim.Quartz()),
+		transport.WithSeed(13),
+	), func(p *transport.Proc) error {
 		res, err := apps.ConnectedComponents(p, cfg)
 		if err != nil {
 			return err

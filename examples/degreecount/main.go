@@ -42,11 +42,10 @@ func main() {
 				return graph.NewUniform(numVertices, 7+int64(p.Rank()))
 			},
 		}
-		report, err := transport.Run(transport.Config{
-			Topo:  machine.New(*nodes, *cores),
-			Model: netsim.Quartz(),
-			Seed:  7,
-		}, func(p *transport.Proc) error {
+		report, err := transport.Run(transport.NewConfig(machine.New(*nodes, *cores),
+			transport.WithModel(netsim.Quartz()),
+			transport.WithSeed(7),
+		), func(p *transport.Proc) error {
 			res, err := apps.DegreeCount(p, cfg)
 			if err != nil {
 				return err

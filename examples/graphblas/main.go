@@ -35,11 +35,10 @@ func main() {
 	levelCount := map[float64]uint64{}
 	var reached, totalNNZ float64
 
-	report, err := transport.Run(transport.Config{
-		Topo:  machine.New(*nodes, *cores),
-		Model: netsim.Quartz(),
-		Seed:  23,
-	}, func(p *transport.Proc) error {
+	report, err := transport.Run(transport.NewConfig(machine.New(*nodes, *cores),
+		transport.WithModel(netsim.Quartz()),
+		transport.WithSeed(23),
+	), func(p *transport.Proc) error {
 		ctx := grb.NewContext(p, ygm.WithScheme(machine.NLNR), ygm.WithCapacity(512))
 
 		// Each rank contributes its share of a symmetric adjacency.

@@ -39,11 +39,10 @@ func main() {
 
 	var mu sync.Mutex
 	results := make([]*apps.KmerCountResult, world)
-	report, err := transport.Run(transport.Config{
-		Topo:  machine.New(*nodes, *cores),
-		Model: netsim.Quartz(),
-		Seed:  31,
-	}, func(p *transport.Proc) error {
+	report, err := transport.Run(transport.NewConfig(machine.New(*nodes, *cores),
+		transport.WithModel(netsim.Quartz()),
+		transport.WithSeed(31),
+	), func(p *transport.Proc) error {
 		res, err := apps.KmerCount(p, cfg)
 		if err != nil {
 			return err

@@ -1,25 +1,53 @@
-// Quickstart: the smallest complete YGM program. It simulates a 2-node,
+// Quickstart: the smallest complete YGM program. It runs a 2-node,
 // 2-core cluster; every rank mails a greeting to rank 0, rank 0 answers
 // with an asynchronous broadcast, and everyone waits for global
 // quiescence with WaitEmpty — the mailbox workflow of the paper's
 // Section IV.
 //
-// Run with: go run ./examples/quickstart
+// By default the cluster is simulated in one process. The same program
+// runs on every transport backend:
+//
+//	go run ./examples/quickstart                   # virtual-time simulator
+//	go run ./examples/quickstart -wire=local       # in-process, real time
+//	go run ./examples/quickstart -wire=tcp -spawn  # 4 real OS processes over localhost
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"sync"
 
 	"ygm/internal/machine"
-	"ygm/internal/netsim"
 	"ygm/internal/transport"
+	"ygm/internal/wirecli"
 	"ygm/internal/ygm"
 )
 
 func main() {
+	log.SetFlags(0)
+	fs := flag.NewFlagSet("quickstart", flag.ExitOnError)
+	var wires wirecli.Flags
+	wires.Register(fs)
+	fs.Parse(os.Args[1:])
+
+	topo := machine.New(2, 2) // 2 nodes x 2 cores = 4 ranks
+	if err := wires.Validate(topo.WorldSize()); err != nil {
+		log.Fatal(err)
+	}
+	if done, err := wires.Launch(topo.WorldSize(), os.Args[1:]); done {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	wire, err := wires.NewWire()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var mu sync.Mutex
 	var events []string
 	logf := func(format string, args ...interface{}) {
@@ -28,11 +56,10 @@ func main() {
 		mu.Unlock()
 	}
 
-	report, err := transport.Run(transport.Config{
-		Topo:  machine.New(2, 2), // 2 nodes x 2 cores = 4 ranks
-		Model: netsim.Quartz(),
-		Seed:  42,
-	}, func(p *transport.Proc) error {
+	report, err := transport.Run(transport.NewConfig(topo,
+		transport.WithSeed(42),
+		transport.WithWire(wire),
+	), func(p *transport.Proc) error {
 		mb := ygm.New(p, func(s ygm.Sender, payload []byte) {
 			logf("rank %d received %q at t=%.1fus", p.Rank(), payload, p.Now()*1e6)
 			// Receive callbacks may send more messages: rank 0 answers
@@ -56,13 +83,22 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Under -wire=tcp each OS process only observes its own ranks'
+	// deliveries and report; rank 0 prints its local view.
+	if !wires.IsRoot() {
+		return
+	}
 	sort.Strings(events)
 	for _, e := range events {
 		fmt.Println(e)
 	}
+	timeBase := "simulated"
+	if report.Wall {
+		timeBase = "wall"
+	}
 	tot := report.Totals()
-	fmt.Printf("\nsimulated makespan: %.1f us, utilization %.0f%%\n",
-		report.Makespan()*1e6, 100*report.Utilization())
+	fmt.Printf("\n%s makespan: %.1f us, utilization %.0f%%\n",
+		timeBase, report.Makespan()*1e6, 100*report.Utilization())
 	fmt.Printf("mailbox traffic: %d local packets, %d remote packets\n",
 		tot.DataLocalMsgs, tot.DataRemoteMsgs)
 }

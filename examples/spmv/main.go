@@ -64,9 +64,9 @@ func main() {
 	}
 	results := make([]*apps.SpMVResult, world)
 	var mu sync.Mutex
-	ygmReport, err := transport.Run(transport.Config{
-		Topo: machine.New(*nodes, *cores), Model: netsim.Quartz(), Seed: seed,
-	}, func(p *transport.Proc) error {
+	ygmReport, err := transport.Run(transport.NewConfig(machine.New(*nodes, *cores),
+		transport.WithModel(netsim.Quartz()), transport.WithSeed(seed),
+	), func(p *transport.Proc) error {
 		res, err := apps.SpMV(p, ygmCfg)
 		if err != nil {
 			return err
@@ -96,9 +96,9 @@ func main() {
 		Seed: seed, Iterations: 1, XValue: apps.XValue, MatrixValue: apps.MatrixValue,
 	}
 	cbResults := make([]*combblas.Result, world)
-	cbReport, err := transport.Run(transport.Config{
-		Topo: machine.New(*nodes, *cores), Model: netsim.Quartz(), Seed: seed,
-	}, func(p *transport.Proc) error {
+	cbReport, err := transport.Run(transport.NewConfig(machine.New(*nodes, *cores),
+		transport.WithModel(netsim.Quartz()), transport.WithSeed(seed),
+	), func(p *transport.Proc) error {
 		res, err := combblas.SpMV(p, cbCfg)
 		if err != nil {
 			return err

@@ -57,12 +57,11 @@ type Analyzer struct {
 }
 
 // All returns the full analyzer suite: the five syntactic checks plus
-// the flow-sensitive lifetime/escape/divergence analyzers and the
-// deprecated-shim check.
+// the flow-sensitive lifetime/escape/divergence analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Wallclock, Seedrand, Codecerr, Blockincallback, Allocinloop,
-		Buflifetime, Payloadescape, Divergentcollective, Rankconfined, Deprecated,
+		Buflifetime, Payloadescape, Divergentcollective, Rankconfined,
 	}
 }
 

@@ -114,12 +114,11 @@ func TestDivergentcollectiveFixture(t *testing.T) {
 	runFixture(t, "divergentcollective", Divergentcollective)
 }
 func TestRankconfinedFixture(t *testing.T) { runFixture(t, "rankconfined", Rankconfined) }
-func TestDeprecatedFixture(t *testing.T)   { runFixture(t, "deprecated", Deprecated) }
 
 // TestSuppressFixture exercises the ygmvet:ignore directive forms:
 // block comments, scoped names, and the unknown-name diagnostic, with
-// the deprecated analyzer providing the findings being suppressed.
-func TestSuppressFixture(t *testing.T) { runFixture(t, "suppress", Deprecated) }
+// the wallclock analyzer providing the findings being suppressed.
+func TestSuppressFixture(t *testing.T) { runFixture(t, "suppress", Wallclock) }
 
 // TestRepoClean pins the tree to zero findings under the production
 // scope — the same invocation CI runs through cmd/ygmvet.
@@ -143,7 +142,7 @@ func TestSuiteRegistered(t *testing.T) {
 	}
 	for _, name := range []string{
 		"wallclock", "seedrand", "codecerr", "blockincallback", "allocinloop",
-		"buflifetime", "payloadescape", "divergentcollective", "rankconfined", "deprecated",
+		"buflifetime", "payloadescape", "divergentcollective", "rankconfined",
 	} {
 		if !got[name] {
 			t.Errorf("analyzer %s not registered in All()", name)

@@ -14,6 +14,8 @@ import (
 const mutationSrc = `package scratch
 
 import (
+	"time"
+
 	"ygm/internal/collective"
 	"ygm/internal/transport"
 	"ygm/internal/ygm"
@@ -29,8 +31,9 @@ func handler(s ygm.Sender, payload []byte) {
 func logIt(s ygm.Sender) {}
 
 func driver(p *transport.Proc, c *collective.Comm, o ygm.Options) {
-	_ = ygm.NewBox(p, handler, o) // MUT:deprecated
-	buf := p.AcquireBuf(8)        // MUT:buflifetime
+	_ = ygm.New(p, handler, ygm.WithCapacity(o.Capacity))
+	buf := p.AcquireBuf(8) // MUT:buflifetime
+	_ = time.Now()         // MUT:wallclock
 	if p.Rank() == 0 {
 		c.Barrier() // MUT:divergentcollective
 	}

@@ -17,8 +17,8 @@ func sampleFindings() []Finding {
 		},
 		{
 			Pos:      token.Position{Filename: "/mod/internal/apps/spmv.go", Line: 7, Column: 2},
-			Analyzer: "deprecated",
-			Message:  "SendBcast is a deprecated legacy shim; use Broadcast",
+			Analyzer: "wallclock",
+			Message:  "wall-clock time.Now in simulated-rank code",
 		},
 	}
 }

@@ -15,14 +15,14 @@ func direct(p *transport.Proc, opts ygm.Options) {
 	var outer ygm.Box
 	outer = ygm.New(p, func(s ygm.Sender, payload []byte) {
 		outer.WaitEmpty() // want `WaitEmpty waits for global mailbox quiescence`
-	}, ygm.WithOptions(opts))
+	}, ygm.WithCapacity(opts.Capacity))
 	_ = outer
 }
 
 func transitive(p *transport.Proc, c *collective.Comm, opts ygm.Options) {
 	_ = ygm.New(p, func(s ygm.Sender, payload []byte) {
 		drain(c)
-	}, ygm.WithOptions(opts))
+	}, ygm.WithCapacity(opts.Capacity))
 }
 
 func drain(c *collective.Comm) {
@@ -48,5 +48,5 @@ func converted() ygm.Handler {
 func clean(p *transport.Proc, opts ygm.Options) {
 	_ = ygm.New(p, func(s ygm.Sender, payload []byte) {
 		s.Send(machine.Rank(0), payload) // spawning sends from a handler is the supported pattern
-	}, ygm.WithOptions(opts))
+	}, ygm.WithCapacity(opts.Capacity))
 }

@@ -1,48 +1,45 @@
 // Package suppressfixture exercises the ygmvet:ignore directive forms:
 // trailing and leading line comments, block comments, the scoped form,
 // non-matching scoped names, and the unknown-name diagnostic. The
-// deprecated analyzer provides the findings being suppressed.
+// wallclock analyzer provides the findings being suppressed.
 package suppressfixture
 
-import (
-	"ygm/internal/transport"
-	"ygm/internal/ygm"
-)
+import "time"
 
-func handler(s ygm.Sender, payload []byte) {}
+const tick = 5 * time.Millisecond
 
 // trailing: the directive on the finding's own line suppresses it.
-func trailing(p *transport.Proc, o ygm.Options) {
-	_ = ygm.NewBox(p, handler, o) //ygmvet:ignore deprecated — fixture exercises the shim
+func trailing() {
+	time.Sleep(tick) //ygmvet:ignore wallclock — fixture exercises suppression
 }
 
 // leading: the directive on the line above suppresses the line below.
-func leading(p *transport.Proc, o ygm.Options) {
-	//ygmvet:ignore deprecated
-	_ = ygm.NewBox(p, handler, o)
+func leading() {
+	//ygmvet:ignore wallclock
+	time.Sleep(tick)
 }
 
 // block: a /* */ comment group covers the line after it too.
-func block(p *transport.Proc, o ygm.Options) {
-	/* ygmvet:ignore deprecated */
-	_ = ygm.NewBox(p, handler, o)
+func block() {
+	/* ygmvet:ignore wallclock */
+	time.Sleep(tick)
 }
 
 // bare: a directive without names silences every analyzer.
-func bare(p *transport.Proc, o ygm.Options) {
-	_ = ygm.NewBox(p, handler, o) //ygmvet:ignore
+func bare() {
+	time.Sleep(tick) //ygmvet:ignore
 }
 
 // wrongName: a scoped directive naming a different (valid) analyzer
 // does not suppress this one.
-func wrongName(p *transport.Proc, o ygm.Options) {
-	//ygmvet:ignore wallclock
-	_ = ygm.NewBox(p, handler, o) // want `NewBox is a deprecated legacy shim`
+func wrongName() {
+	//ygmvet:ignore seedrand
+	time.Sleep(tick) // want `wall-clock time\.Sleep in simulated-rank code`
 }
 
 // unknownName: a typo'd analyzer name is itself diagnosed, and the
 // finding it meant to suppress still surfaces.
-func unknownName(p *transport.Proc, o ygm.Options) {
-	//ygmvet:ignore deprecatd -- want `ygmvet:ignore names unknown analyzer "deprecatd"`
-	_ = ygm.NewBox(p, handler, o) // want `NewBox is a deprecated legacy shim`
+func unknownName() {
+	//ygmvet:ignore wallclok -- want `ygmvet:ignore names unknown analyzer "wallclok"`
+	time.Sleep(tick) // want `wall-clock time\.Sleep in simulated-rank code`
 }

@@ -55,7 +55,7 @@ type ConnectedComponentsResult struct {
 	// edge distribution finished; the label-propagation passes the paper
 	// times run after it.
 	SetupEnd float64
-	// Broadcasts is the number of SendBcast calls this rank issued.
+	// Broadcasts is the number of Broadcast calls this rank issued.
 	Broadcasts uint64
 	Mailbox    ygm.Stats
 }

@@ -4,9 +4,8 @@ import "ygm/internal/ygm"
 
 // mailboxOptions expands a fully assembled ygm.Options value into the
 // equivalent Option list, so the app entry points — whose configs carry
-// an Options struct — compose with ygm.New without the deprecated
-// ygm.WithOptions overlay. It sets every Options field, making it a
-// drop-in replacement for the wholesale overlay.
+// an Options struct — compose with ygm.New. It sets every Options
+// field, making it a drop-in replacement for a wholesale overlay.
 func mailboxOptions(o ygm.Options) []ygm.Option {
 	return []ygm.Option{
 		ygm.WithScheme(o.Scheme),

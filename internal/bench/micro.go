@@ -40,11 +40,10 @@ func microWorkload(b *testing.B, style ygm.ExchangeStyle, scheme machine.Scheme)
 	topo := machine.New(4, 4)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, err := transport.Run(transport.Config{
-			Topo:  topo,
-			Model: netsim.Quartz(),
-			Seed:  12345,
-		}, func(p *transport.Proc) error {
+		_, err := transport.Run(transport.NewConfig(topo,
+			transport.WithModel(netsim.Quartz()),
+			transport.WithSeed(12345),
+		), func(p *transport.Proc) error {
 			mb := ygm.New(p, func(s ygm.Sender, payload []byte) {},
 				ygm.WithScheme(scheme),
 				ygm.WithCapacity(256),

@@ -65,6 +65,23 @@ type Preset struct {
 	// a figure run into a Perfetto-loadable timeline; see ygm-bench
 	// -trace.
 	Trace transport.Tracer
+
+	// Wire names the in-process transport backend every world in the
+	// sweep runs on: "" or "sim" for the virtual-time simulator, "local"
+	// for the real-time wire (figures then report wall seconds on real
+	// hardware instead of modeled seconds). The multi-process TCP
+	// backend does not fit a figure sweep — world sizes vary per cell —
+	// so ygm-bench runs its dedicated exchange benchmark for that (see
+	// -wire=tcp).
+	Wire string
+}
+
+// newWire builds a fresh single-use backend for one world of the sweep.
+func (p Preset) newWire() transport.Wire {
+	if p.Wire == "local" {
+		return transport.LocalWire{}
+	}
+	return transport.SimWire{}
 }
 
 // Quick is the fast preset used by unit tests and testing.B benchmarks.

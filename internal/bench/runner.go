@@ -39,13 +39,13 @@ func (e *extras) setMax(key string, v float64) {
 func runWorld(p Preset, nodes int, straggler func(machine.Rank) float64,
 	body func(proc *transport.Proc, ex *extras) error) (*transport.Report, *extras) {
 	ex := newExtras()
-	rep, err := transport.Run(transport.Config{
-		Topo:         machine.New(nodes, p.Cores),
-		Model:        p.Model,
-		Seed:         p.Seed,
-		ComputeScale: straggler,
-		Trace:        p.Trace,
-	}, func(proc *transport.Proc) error {
+	rep, err := transport.Run(transport.NewConfig(machine.New(nodes, p.Cores),
+		transport.WithModel(p.Model),
+		transport.WithSeed(p.Seed),
+		transport.WithComputeScale(straggler),
+		transport.WithTrace(p.Trace),
+		transport.WithWire(p.newWire()),
+	), func(proc *transport.Proc) error {
 		return body(proc, ex)
 	})
 	if err != nil {

@@ -2,10 +2,9 @@ package havoq
 
 import "ygm/internal/ygm"
 
-// mailboxOptions expands the engine config's ygm.Options value into the
-// equivalent Option list (every field set), replacing the deprecated
-// ygm.WithOptions overlay; the engine appends its own overrides after
-// it.
+// mailboxOptions expands the engine config's ygm.Options value into
+// the equivalent Option list (every field set); the engine appends its
+// own overrides after it.
 func mailboxOptions(o ygm.Options) []ygm.Option {
 	return []ygm.Option{
 		ygm.WithScheme(o.Scheme),

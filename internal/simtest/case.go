@@ -91,7 +91,7 @@ type Case struct {
 	// ttl>0 spawns one follow-up send with ttl-1 (data-dependent
 	// traffic, as in graph traversals). 0 disables spawning.
 	TTL int
-	// BcastEvery makes roughly one in BcastEvery sends a SendBcast;
+	// BcastEvery makes roughly one in BcastEvery sends a Broadcast;
 	// 0 disables broadcasts.
 	BcastEvery int
 	// Jitter enables seeded random extra delivery delays, perturbing

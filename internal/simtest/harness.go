@@ -89,12 +89,11 @@ func runCaseLogged(c Case, tr transport.Tracer) (Outcome, *synch.Log) {
 	o := newOracle(topo, c.Scheme, c.Phases)
 	rec := synch.NewRecorder(topo.WorldSize())
 	hooks := c.Mutant.hooks()
-	cfg := transport.Config{
-		Topo:             topo,
-		Seed:             c.Seed,
-		Trace:            transport.NewMultiTracer(o, rec, tr),
-		WatchdogInterval: watchdogInterval,
-	}
+	cfg := transport.NewConfig(topo,
+		transport.WithSeed(c.Seed),
+		transport.WithTrace(transport.NewMultiTracer(o, rec, tr)),
+		transport.WithWatchdogInterval(watchdogInterval),
+	)
 	if c.Jitter {
 		cfg.Delay = jitterDelay(c.Seed, topo.WorldSize())
 	}

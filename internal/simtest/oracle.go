@@ -14,7 +14,7 @@ import (
 
 // msgKey identifies one logical application message: the rank that
 // created it and that rank's private sequence number. Broadcast copies
-// of one SendBcast share a key.
+// of one Broadcast share a key.
 //
 // Sequence numbers are structured so the whole command script is
 // deterministic across mailbox variants (the cross-validation replay

@@ -24,6 +24,14 @@ type Proc struct {
 	stats Stats
 	rng   *rand.Rand
 
+	// rt is non-nil when the run's wire is real-time (LocalWire,
+	// TCPWire): the rank's clock is then host seconds since the world
+	// epoch, every netsim model charge is skipped (the costs are real
+	// instructions and real wire latency), and wait time is measured
+	// around blocking receives. Nil on the simulated path, so the hot
+	// paths pay one predictable nil check.
+	rt *rtClock
+
 	computeScale float64
 
 	jumpD      float64
@@ -65,6 +73,35 @@ type chanKey struct {
 	tag Tag
 }
 
+// rtClock is a rank's real-time clock state: the world epoch lives on
+// the World; wait accumulates measured host seconds spent parked in
+// blocking receives, so Busy = Now - wait mirrors the netsim clock's
+// busy/wait split in measured form.
+type rtClock struct {
+	wait float64
+}
+
+// now returns this rank's clock in seconds: virtual netsim time on the
+// simulated path, host seconds since the world epoch in real time.
+func (p *Proc) now() float64 {
+	if p.rt != nil {
+		return hostNow().Sub(p.world.epoch).Seconds()
+	}
+	return p.clock.Now()
+}
+
+// clocks returns a consistent (now, busy, wait) snapshot in the run's
+// time base. Under a real-time wire all three derive from one host
+// clock reading, so RankReport.Time == Busy + Wait holds exactly
+// instead of drifting by the interval between two hostNow calls.
+func (p *Proc) clocks() (now, busy, wait float64) {
+	if p.rt != nil {
+		now = hostNow().Sub(p.world.epoch).Seconds()
+		return now, now - p.rt.wait, p.rt.wait
+	}
+	return p.clock.Now(), p.clock.Busy(), p.clock.Wait()
+}
+
 // Rank returns this rank's flat identifier.
 func (p *Proc) Rank() machine.Rank { return p.rank }
 
@@ -83,8 +120,10 @@ func (p *Proc) WorldSize() int { return p.world.topo.WorldSize() }
 // Model returns the network cost model in effect.
 func (p *Proc) Model() *netsim.Model { return &p.world.model }
 
-// Now returns this rank's virtual clock in seconds.
-func (p *Proc) Now() float64 { return p.clock.Now() }
+// Now returns this rank's clock in seconds: virtual netsim time under a
+// simulated wire, host seconds since the run epoch under a real-time
+// wire.
+func (p *Proc) Now() float64 { return p.now() }
 
 // Stats exposes this rank's traffic counters (read-only use expected).
 func (p *Proc) Stats() *Stats { return &p.stats }
@@ -105,10 +144,16 @@ func (p *Proc) CommNonce() uint64 {
 }
 
 // Compute advances the virtual clock by d seconds of application work,
-// scaled by any straggler factor configured for this rank.
+// scaled by any straggler factor configured for this rank. Under a
+// real-time wire this is a no-op (beyond argument validation): the work
+// the charge models is real instructions there, and simulating extra
+// load would double-count it.
 func (p *Proc) Compute(d float64) {
 	if d < 0 {
 		panic("transport: negative compute time")
+	}
+	if p.rt != nil {
+		return
 	}
 	p.clock.Advance(d * p.computeScale)
 	p.checkClockMonotone()
@@ -116,7 +161,11 @@ func (p *Proc) Compute(d float64) {
 
 // ChargeRecvOverhead advances the clock by the model's receive overhead;
 // exposed for layers (like the mailbox) that account per-record costs.
+// A no-op under real-time wires, like every model charge.
 func (p *Proc) ChargeRecvOverhead() {
+	if p.rt != nil {
+		return
+	}
 	p.clock.Advance(p.world.model.RecvOverhead)
 }
 
@@ -158,16 +207,38 @@ func (p *Proc) send(dst machine.Rank, tag Tag, payload []byte, pooled bool) {
 		panic(fmt.Sprintf("transport: send to invalid rank %d", dst))
 	}
 	local := w.topo.SameNode(p.rank, dst)
-	p.clock.Advance(w.model.SendOverheadFor(local))
-	var transfer float64
-	if local {
-		transfer = w.model.LocalTransferTime(len(payload))
+	var arrive float64
+	if p.rt != nil {
+		// Real-time wire: overheads and transfer times are real
+		// instructions and real latency, not model charges. The arrival
+		// stamp is the sender's host clock; a remote backend re-stamps on
+		// the receiving host so clock skew can never place a packet in
+		// the receiver's past.
+		arrive = p.now()
 	} else {
-		transfer = w.model.RemoteTransferTime(len(payload))
-	}
-	if w.delay != nil {
-		if extra := w.delay(p.rank, dst, tag, len(payload)); extra > 0 {
-			transfer += extra
+		p.clock.Advance(w.model.SendOverheadFor(local))
+		var transfer float64
+		if local {
+			transfer = w.model.LocalTransferTime(len(payload))
+		} else {
+			transfer = w.model.RemoteTransferTime(len(payload))
+		}
+		if w.delay != nil {
+			if extra := w.delay(p.rank, dst, tag, len(payload)); extra > 0 {
+				transfer += extra
+			}
+		}
+		arrive = p.clock.Now() + transfer
+		if w.delay != nil {
+			// Clamp so injected delay never reorders a channel.
+			if p.lastArrive == nil {
+				p.lastArrive = make(map[chanKey]float64) //ygmvet:ignore allocinloop -- fault-injection runs only; never on the steady-state path
+			}
+			key := chanKey{dst: dst, tag: tag}
+			if last := p.lastArrive[key]; arrive < last {
+				arrive = last
+			}
+			p.lastArrive[key] = arrive
 		}
 	}
 	p.stats.recordSend(dst, tag, len(payload), local, w.trackPartners)
@@ -176,30 +247,18 @@ func (p *Proc) send(dst machine.Rank, tag Tag, payload []byte, pooled bool) {
 	} else {
 		p.szRemote.Observe(uint64(len(payload)))
 	}
-	arrive := p.clock.Now() + transfer
-	if w.delay != nil {
-		// Clamp so injected delay never reorders a channel.
-		if p.lastArrive == nil {
-			p.lastArrive = make(map[chanKey]float64) //ygmvet:ignore allocinloop -- fault-injection runs only; never on the steady-state path
-		}
-		key := chanKey{dst: dst, tag: tag}
-		if last := p.lastArrive[key]; arrive < last {
-			arrive = last
-		}
-		p.lastArrive[key] = arrive
-	}
 	pkt := w.pool.getPkt()
 	pkt.Src = p.rank
 	pkt.Tag = tag
 	pkt.Arrive = arrive
 	pkt.Payload = payload
 	pkt.pooled = pooled
-	w.inboxes[dst].Push(pkt)
+	w.wire.Inject(p, dst, pkt)
 	if p.rec != nil {
-		p.rec.Record(obs.Event{Kind: obs.KSend, T: p.clock.Now(), Peer: int32(dst), Tag: uint64(tag), Size: int64(len(payload))})
+		p.rec.Record(obs.Event{Kind: obs.KSend, T: p.now(), Peer: int32(dst), Tag: uint64(tag), Size: int64(len(payload))})
 	}
 	if w.trace != nil {
-		w.trace.PacketSent(p.rank, dst, tag, len(payload), p.clock.Now(), arrive)
+		w.trace.PacketSent(p.rank, dst, tag, len(payload), p.now(), arrive)
 	}
 }
 
@@ -209,7 +268,17 @@ func (p *Proc) send(dst machine.Rank, tag Tag, payload []byte, pooled bool) {
 // determined that every active rank is blocked, Recv records this rank's
 // state and unwinds the rank instead of hanging forever.
 func (p *Proc) Recv(tag Tag) *Packet {
+	var t0 float64
+	if p.rt != nil {
+		// Real-time wires account wait by measuring the blocking pop;
+		// Progress lets a polled backend move bytes before the park.
+		p.world.wire.Progress(p)
+		t0 = p.now()
+	}
 	pkt := p.world.inboxes[p.rank].WaitPop(tag)
+	if p.rt != nil {
+		p.rt.wait += p.now() - t0
+	}
 	if pkt == nil {
 		p.deadlockExit(tag)
 	}
@@ -217,17 +286,22 @@ func (p *Proc) Recv(tag Tag) *Packet {
 	return pkt
 }
 
-// Poll returns the earliest packet with the given tag whose virtual
-// arrival is at or before this rank's clock, or nil. Polling never
-// advances the clock past the present (beyond the receive overhead).
+// Poll returns the earliest packet with the given tag whose arrival is
+// at or before this rank's clock, or nil. Polling never advances the
+// clock past the present (beyond the receive overhead). Under a
+// real-time wire every physically queued packet has already arrived
+// (stamps are taken before the push, on the receiving host's clock), so
+// Poll degenerates to a nonblocking pop.
 func (p *Proc) Poll(tag Tag) *Packet {
-	pkt := p.world.inboxes[p.rank].TryPopArrived(tag, p.clock.Now())
+	pkt := p.world.inboxes[p.rank].TryPopArrived(tag, p.now())
 	if pkt != nil {
-		p.clock.Advance(p.world.model.RecvOverheadFor(p.world.topo.SameNode(p.rank, pkt.Src)))
+		if p.rt == nil {
+			p.clock.Advance(p.world.model.RecvOverheadFor(p.world.topo.SameNode(p.rank, pkt.Src)))
+			p.checkClockMonotone()
+		}
 		p.stats.RecvMsgs++
-		p.checkClockMonotone()
 		if p.world.trace != nil {
-			p.world.trace.PacketReceived(pkt.Src, p.rank, pkt.Tag, len(pkt.Payload), p.clock.Now())
+			p.world.trace.PacketReceived(pkt.Src, p.rank, pkt.Tag, len(pkt.Payload), p.now())
 		}
 	}
 	return pkt
@@ -274,7 +348,21 @@ func (p *Proc) PendingTags(tags []Tag) int {
 }
 
 // absorb applies arrival wait and receive overhead accounting for pkt.
+// Real-time wires skip the virtual accounting entirely: the stamp was
+// taken at or before the push on this host's monotonic clock, so the
+// packet has always "arrived", wait was measured around the blocking
+// pop, and the receive overhead is real work.
 func (p *Proc) absorb(pkt *Packet) {
+	if p.rt != nil {
+		p.stats.RecvMsgs++
+		if p.rec != nil {
+			p.rec.Record(obs.Event{Kind: obs.KRecv, T: p.now(), Peer: int32(pkt.Src), Tag: uint64(pkt.Tag), Size: int64(len(pkt.Payload))})
+		}
+		if p.world.trace != nil {
+			p.world.trace.PacketReceived(pkt.Src, p.rank, pkt.Tag, len(pkt.Payload), p.now())
+		}
+		return
+	}
 	if jump := pkt.Arrive - p.clock.Now(); jump > 50e-6 {
 		// Large arrival waits go to the flight recorder always and, when
 		// traceJumps debugging is enabled, to stderr — never stdout,
@@ -311,7 +399,10 @@ func (p *Proc) BigJump() (src machine.Rank, tag Tag, arrive, d float64) {
 	return p.jumpSrc, p.jumpTag, p.jumpArrive, p.jumpD
 }
 
-// Clock exposes the rank's virtual clock for report assembly.
+// Clock exposes the rank's virtual netsim clock. Under a real-time wire
+// the virtual clock never advances (the rank's time base is host time;
+// see Now); callers that care about the time base should consult the
+// Report's Wall field instead.
 func (p *Proc) Clock() *netsim.Clock { return &p.clock }
 
 // Metrics returns this rank's named-metric registry. Layers resolve
@@ -346,7 +437,7 @@ func (p *Proc) Span(name string) Span {
 	if so == nil {
 		return Span{}
 	}
-	so.SpanBegin(p.rank, name, p.clock.Now())
+	so.SpanBegin(p.rank, name, p.now())
 	return Span{p: p, name: name}
 }
 
@@ -355,7 +446,7 @@ func (s Span) End() {
 	if s.p == nil {
 		return
 	}
-	s.p.world.spanObs.SpanEnd(s.p.rank, s.name, s.p.clock.Now())
+	s.p.world.spanObs.SpanEnd(s.p.rank, s.name, s.p.now())
 }
 
 // Mark records a labelled instant with an event-specific value (e.g. a
@@ -365,7 +456,7 @@ func (p *Proc) Mark(name string, value uint64) {
 	if p.rec == nil && p.world.spanObs == nil {
 		return
 	}
-	now := p.clock.Now()
+	now := p.now()
 	if p.rec != nil {
 		p.rec.Record(obs.Event{Kind: obs.KMark, T: now, Peer: -1, Tag: value, Name: name})
 	}

@@ -48,6 +48,14 @@ type Config struct {
 	// dumps include. Zero selects obs.DefaultRecorderSize; a negative
 	// value disables the recorder entirely.
 	FlightRecorder int
+	// Wire selects the transport backend below the inbox rings: nil (the
+	// default) is the virtual-time SimWire; LocalWire runs the same
+	// in-process world in real time; TCPWire runs one rank per OS
+	// process over localhost TCP. Real-time wires ignore Model, Delay,
+	// and ComputeScale — their costs are real instructions and real wire
+	// latency, not model charges. See the Wire interface and DESIGN.md
+	// §13.
+	Wire Wire
 }
 
 // World holds the shared state of a run: one inbox per rank plus the
@@ -58,6 +66,16 @@ type World struct {
 	inboxes       []*Inbox
 	trackPartners bool
 	trace         Tracer
+	// wire is the resolved transport backend (SimWire when Config.Wire
+	// is nil); realtime caches wire.RealTime() and epoch anchors the
+	// real-time rank clocks (host seconds since Start returned).
+	wire     Wire
+	realtime bool
+	epoch    time.Time
+	// wireMu guards wireErr, the first wire-level fault recorded by
+	// WireFail (a peer connection reset, a failed remote write).
+	wireMu  sync.Mutex
+	wireErr error
 	// spanObs is Config.Trace's SpanObserver side, type-asserted once at
 	// Run so the per-span check is a nil compare, not an assertion.
 	spanObs SpanObserver
@@ -83,10 +101,12 @@ type World struct {
 	dead []*RankDeadState
 }
 
-// RankReport is one rank's outcome.
+// RankReport is one rank's outcome. Time/Busy/Wait are virtual netsim
+// seconds under a simulated wire and host seconds since the run epoch
+// under a real-time wire (see Report.Wall).
 type RankReport struct {
 	Rank  machine.Rank
-	Time  float64 // final virtual clock
+	Time  float64 // final clock: virtual seconds, or wall seconds when Report.Wall
 	Busy  float64
 	Wait  float64
 	Stats Stats
@@ -97,14 +117,22 @@ type RankReport struct {
 	Metrics obs.Snapshot
 }
 
-// Report aggregates a run.
+// Report aggregates a run. Under a distributed wire (TCPWire) it covers
+// only the ranks this process hosted; each process assembles its own
+// report.
 type Report struct {
 	Topo  machine.Topology
 	Ranks []RankReport
+	// Wall reports the time base of every duration in this report: false
+	// means simulated netsim seconds (SimWire), true means measured host
+	// seconds since the run epoch (real-time wires — LocalWire, TCPWire).
+	Wall bool
 }
 
-// Makespan returns the simulated wall-clock of the run: the maximum final
-// virtual time over all ranks.
+// Makespan returns the run's elapsed time: the maximum final clock over
+// the reported ranks. Simulated seconds under SimWire; measured wall
+// seconds when Wall is set (the per-rank clocks share one epoch, so the
+// maximum is the real end-to-end duration across this process's ranks).
 func (r *Report) Makespan() float64 {
 	max := 0.0
 	for _, rr := range r.Ranks {
@@ -132,8 +160,12 @@ func (r *Report) Totals() Totals {
 }
 
 // Utilization returns aggregate core utilization: total busy time over
-// world-size times makespan. This is the "core utilization" quantity the
-// paper's abstract claims the asynchronous collectives improve.
+// reported-rank count times makespan. This is the "core utilization"
+// quantity the paper's abstract claims the asynchronous collectives
+// improve. The ratio is well-defined in both time bases: under a
+// real-time wire Busy is measured wall time outside blocking receives,
+// so the quotient is the fraction of host time the ranks spent off the
+// park path rather than a netsim model quantity.
 func (r *Report) Utilization() float64 {
 	ms := r.Makespan()
 	if ms == 0 {
@@ -185,6 +217,10 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 		return nil, err
 	}
 	size := cfg.Topo.WorldSize()
+	wire := cfg.Wire
+	if wire == nil {
+		wire = SimWire{}
+	}
 	w := &World{
 		topo:          cfg.Topo,
 		model:         cfg.Model,
@@ -192,6 +228,8 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 		trackPartners: cfg.TrackPartners,
 		trace:         cfg.Trace,
 		delay:         cfg.Delay,
+		wire:          wire,
+		realtime:      wire.RealTime(),
 	}
 	if so, ok := cfg.Trace.(SpanObserver); ok {
 		w.spanObs = so
@@ -214,8 +252,38 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 		w.inboxes[i] = newInboxFrom(rings, slots)
 	}
 	w.dead = make([]*RankDeadState, size)
-	w.active.Store(int64(size))
-	if cfg.WatchdogInterval >= 0 {
+	// local is the set of ranks this process hosts (nil from the wire
+	// means all of them); distributed wires run one subset per process.
+	local := wire.LocalRanks(cfg.Topo)
+	if local == nil {
+		local = make([]machine.Rank, size)
+		for i := range local {
+			local[i] = machine.Rank(i)
+		}
+	}
+	for _, r := range local {
+		if !cfg.Topo.Valid(r) {
+			return nil, fmt.Errorf("transport: wire %s claims invalid local rank %d", wire.Name(), r)
+		}
+	}
+	w.active.Store(int64(len(local)))
+	// A distributed wire performs its rendezvous/handshake here, before
+	// any rank runs; the epoch anchoring real-time rank clocks is taken
+	// after it returns so every process starts its clocks post-handshake.
+	if err := wire.Start(w); err != nil {
+		return nil, fmt.Errorf("transport: wire %s: %w", wire.Name(), err)
+	}
+	// A wire that spawns stamping goroutines (TCP readers) sets the epoch
+	// itself before they start; otherwise the clocks anchor here.
+	if w.epoch.IsZero() {
+		w.epoch = hostNow()
+	}
+	// The quiet-world deadlock heuristic is only sound when every rank is
+	// visible to this process's watchdog: under a distributed wire a
+	// locally-blocked rank may be waiting on a remote peer the watchdog
+	// cannot observe, so detection is left to connection-fault surfacing
+	// (WireFail) instead.
+	if cfg.WatchdogInterval >= 0 && len(local) == size {
 		interval := cfg.WatchdogInterval
 		if interval == 0 {
 			interval = defaultWatchdogInterval
@@ -225,11 +293,11 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 		go w.watchdog(interval, stop)
 	}
 
-	report := &Report{Topo: cfg.Topo, Ranks: make([]RankReport, size)}
+	report := &Report{Topo: cfg.Topo, Ranks: make([]RankReport, size), Wall: w.realtime}
 	errs := make([]error, size)
 	var wg sync.WaitGroup
-	wg.Add(size)
-	for i := 0; i < size; i++ {
+	wg.Add(len(local))
+	for _, i := range local {
 		go func(r machine.Rank) {
 			defer wg.Done()
 			defer w.active.Add(-1)
@@ -239,6 +307,9 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 				rng:          rand.New(newRngSource(cfg.Seed*1000003 + int64(r))),
 				computeScale: 1,
 				metrics:      obs.NewRegistry(),
+			}
+			if w.realtime {
+				p.rt = &rtClock{}
 			}
 			p.szLocal = p.metrics.Histogram("transport.msg_size.local")
 			p.szRemote = p.metrics.Histogram("transport.msg_size.remote")
@@ -282,20 +353,35 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 				p.metrics.Counter("inbox.spin_hits").Add(spinHits)
 				p.metrics.Counter("inbox.parks").Add(parks)
 				p.metrics.Gauge("inbox.max_depth").Set(float64(w.inboxes[r].MaxDepth()))
+				now, busy, wait := p.clocks()
 				report.Ranks[r] = RankReport{
 					Rank:          r,
-					Time:          p.clock.Now(),
-					Busy:          p.clock.Busy(),
-					Wait:          p.clock.Wait(),
+					Time:          now,
+					Busy:          busy,
+					Wait:          wait,
 					Stats:         p.stats,
 					MaxInboxDepth: w.inboxes[r].MaxDepth(),
 					Metrics:       p.metrics.Snapshot(),
 				}
 			}()
 			errs[r] = body(p)
-		}(machine.Rank(i))
+			if errs[r] == nil {
+				w.wire.Flush(p)
+			}
+		}(i)
 	}
 	wg.Wait()
+	ferr := w.wire.Finish()
+	if len(local) < size {
+		// Distributed run: compact the report to the ranks this process
+		// hosted so aggregate quantities (Utilization's rank count above
+		// all) stay meaningful.
+		ranks := make([]RankReport, 0, len(local))
+		for _, r := range local {
+			ranks = append(ranks, report.Ranks[r])
+		}
+		report.Ranks = ranks
+	}
 	// A rank that died from a real panic usually strands its peers in
 	// blocking receives, which the watchdog then resolves by poisoning
 	// them — so prefer reporting the root-cause panic over the derived
@@ -307,6 +393,17 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 	}
 	if w.poisoned.Load() {
 		return report, w.deadlockError()
+	}
+	// A wire fault (recorded via WireFail) explains ranks that unwound
+	// through the poisoned-receive path without a watchdog verdict.
+	w.wireMu.Lock()
+	werr := w.wireErr
+	w.wireMu.Unlock()
+	if werr != nil {
+		return report, fmt.Errorf("transport: wire %s: %w", w.wire.Name(), werr)
+	}
+	if ferr != nil {
+		return report, fmt.Errorf("transport: wire %s: finish: %w", w.wire.Name(), ferr)
 	}
 	return report, nil
 }

@@ -91,7 +91,7 @@ func (p *Proc) deadlockExit(tag Tag) {
 	}
 	w.dead[p.rank] = &RankDeadState{
 		Rank:       p.rank,
-		Clock:      p.clock.Now(),
+		Clock:      p.now(),
 		InboxDepth: w.inboxes[p.rank].Len(),
 		BlockedTag: tag,
 		Recent:     recent,

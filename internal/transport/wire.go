@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"time"
+
+	"ygm/internal/machine"
+)
+
+// Wire is the pluggable bottom edge of the runtime: everything below the
+// per-rank SPSC inbox rings — how a stamped packet physically travels
+// from the sending rank to the destination inbox. The zero-alloc
+// AcquireBuf/SendPooled/Recycle discipline, the per-channel rings, the
+// per-tag arrival heaps, and the delivery semantics the oracles certify
+// all sit *above* this seam and are shared by every backend.
+//
+// Contract:
+//
+//   - Inject is called on the sending rank's goroutine with a packet the
+//     sender has fully stamped (Src, Tag, Arrive, Payload, pooled).
+//     Ownership of the packet transfers to the wire. For a destination
+//     hosted in this process the wire must Push the packet into
+//     w.Inbox(dst) from exactly one goroutine per (dst, src) channel —
+//     the single-producer rule the lock-free rings rely on. A wire that
+//     serializes the packet onto an external transport must return it to
+//     the world pool afterwards so the sender-side recycle balance holds.
+//   - Progress lets a polled backend move bytes on the caller's
+//     goroutine. The runtime calls it once before a real-time rank parks
+//     in a blocking receive; push-based backends (all three in-tree wires,
+//     which deliver from the sender's goroutine or from dedicated reader
+//     goroutines) implement it as a no-op. See DESIGN.md §13 for why the
+//     hook exists anyway: MPI Progress For All measures exactly the
+//     failure mode — handler starvation under a progress-less backend —
+//     that this call is the escape hatch for.
+//   - Flush blocks until every frame this rank injected has been handed
+//     to the underlying transport (the OS for TCP). The runtime calls it
+//     as each rank's body returns; in-process wires are synchronous and
+//     implement it as a no-op.
+//   - RealTime distinguishes virtual-time wires (arrival stamps are
+//     netsim model arithmetic, ranks carry a netsim.Clock) from
+//     real-time wires (arrival stamps are host seconds since the world
+//     epoch and every model charge is skipped — the costs are real
+//     instructions and real wire latency). See Report.Wall.
+//   - LocalRanks returns the ranks this process hosts; nil means all of
+//     them. Run spawns one goroutine per local rank only. A distributed
+//     wire (fewer local ranks than the world) must surface remote-peer
+//     failure by calling w.WireFail, which poisons the local inboxes so
+//     blocked ranks unwind through the same deadlockExit path the
+//     watchdog uses.
+//   - Start attaches the wire to one World before any rank runs (a
+//     distributed wire performs its rendezvous/handshake here); Finish
+//     tears it down after every local rank has returned and is where a
+//     distributed wire drains peers' goodbyes.
+//
+// A Wire value is single-use: one Start/Finish cycle per Run.
+type Wire interface {
+	Name() string
+	RealTime() bool
+	LocalRanks(topo machine.Topology) []machine.Rank
+	Start(w *World) error
+	Inject(p *Proc, dst machine.Rank, pkt *Packet)
+	Progress(p *Proc)
+	Flush(p *Proc)
+	Finish() error
+}
+
+// SimWire is the virtual-time simulator backend — the runtime's original
+// bottom edge, extracted behind the Wire seam with zero behavior change.
+// Every rank runs as a goroutine in this process, arrival stamps come
+// from the netsim cost model, and Inject is a direct Push into the
+// destination's inbox rings. A nil Config.Wire selects SimWire.
+type SimWire struct{}
+
+func (SimWire) Name() string       { return "sim" }
+func (SimWire) RealTime() bool     { return false }
+func (SimWire) Start(*World) error { return nil }
+
+// LocalRanks: every rank lives in this process.
+func (SimWire) LocalRanks(machine.Topology) []machine.Rank { return nil }
+
+//ygm:hotpath
+func (SimWire) Inject(p *Proc, dst machine.Rank, pkt *Packet) {
+	p.world.inboxes[dst].Push(pkt)
+}
+
+func (SimWire) Progress(*Proc) {}
+func (SimWire) Flush(*Proc)    {}
+func (SimWire) Finish() error  { return nil }
+
+// LocalWire is the in-process real-time backend: the same goroutine-per
+// rank execution and direct inbox delivery as SimWire, but with no
+// netsim clock — arrival stamps are host time, model charges are
+// skipped, and the Report measures actual wall seconds on real
+// hardware. It exists so the benches can measure the runtime itself
+// (injection rate, handler dispatch, ring handoff) rather than the cost
+// model, and as the single-process anchor of the backend-conformance
+// suite.
+type LocalWire struct{}
+
+func (LocalWire) Name() string       { return "local" }
+func (LocalWire) RealTime() bool     { return true }
+func (LocalWire) Start(*World) error { return nil }
+
+func (LocalWire) LocalRanks(machine.Topology) []machine.Rank { return nil }
+
+func (LocalWire) Inject(p *Proc, dst machine.Rank, pkt *Packet) {
+	p.world.inboxes[dst].Push(pkt)
+}
+
+func (LocalWire) Progress(*Proc) {}
+func (LocalWire) Flush(*Proc)    {}
+func (LocalWire) Finish() error  { return nil }
+
+// hostNow reads the host clock for the real-time wires and the TCP
+// handshake deadlines. Like the deadlock watchdog, real-time backends
+// run on host time by design: the virtual-clock rule exists to keep
+// *simulated* experiments independent of host scheduling, and a
+// real-time wire's entire point is to measure that scheduling.
+func hostNow() time.Time {
+	return time.Now() //ygmvet:ignore wallclock — real-time wire backends measure host time by design
+}
+
+// WireFail records a wire-level fault (a peer connection reset, a failed
+// remote write) and unwinds the local ranks: the world is marked failed
+// — so AbortIfPeerFailed loops exit — and every local inbox is poisoned
+// so blocked receivers return through the orderly deadlockExit path.
+// Run reports the first recorded fault when no rank error explains the
+// unwind. Safe to call from any wire goroutine, more than once.
+func (w *World) WireFail(err error) {
+	w.wireMu.Lock()
+	if w.wireErr == nil {
+		w.wireErr = err
+	}
+	w.wireMu.Unlock()
+	w.failed.Store(true)
+	for _, ib := range w.inboxes {
+		ib.poison()
+	}
+}
+
+// Inbox exposes rank r's inbox for wire implementations that deliver
+// from their own reader goroutines (each must respect the one-producer
+// per (dst, src) channel rule Push documents).
+func (w *World) Inbox(r machine.Rank) *Inbox { return w.inboxes[r] }

@@ -23,14 +23,14 @@ func Example() {
 		Topo:  machine.New(2, 2),
 		Model: netsim.Quartz(),
 	}, func(p *transport.Proc) error {
-		mb := ygm.NewBox(p, func(s ygm.Sender, payload []byte) {
+		mb := ygm.New(p, func(s ygm.Sender, payload []byte) {
 			mu.Lock()
 			log = append(log, fmt.Sprintf("rank %d got %q", p.Rank(), payload))
 			mu.Unlock()
 			if p.Rank() == 0 && string(payload) != "ack" {
-				s.SendBcast([]byte("ack"))
+				s.Broadcast([]byte("ack"))
 			}
-		}, ygm.Options{Scheme: machine.NLNR, Capacity: 16})
+		}, ygm.WithScheme(machine.NLNR), ygm.WithCapacity(16))
 
 		if p.Rank() != 0 {
 			mb.Send(0, []byte(fmt.Sprintf("hello-%d", p.Rank())))

@@ -18,10 +18,6 @@ type Sender interface {
 	Send(dst machine.Rank, payload []byte)
 	// Broadcast queues a broadcast to every other rank.
 	Broadcast(payload []byte)
-	// SendBcast queues a broadcast to every other rank.
-	//
-	// Deprecated: use Broadcast.
-	SendBcast(payload []byte)
 }
 
 // Handler is a mailbox receive callback, invoked once per delivered
@@ -65,10 +61,9 @@ func (e ExchangeStyle) String() string {
 	return fmt.Sprintf("ExchangeStyle(%d)", int(e))
 }
 
-// Options configures a mailbox. New applications compose Option values
+// Options configures a mailbox. Applications compose Option values
 // (WithScheme, WithCapacity, ...) instead of assembling this struct;
-// it remains exported as the configuration record those options fill
-// in, and for legacy construction through NewBox/WithOptions.
+// it remains exported as the configuration record those options fill in.
 type Options struct {
 	// Scheme selects the routing protocol. Default NoRoute.
 	Scheme machine.Scheme
@@ -112,30 +107,6 @@ type Box interface {
 	Stats() Stats
 	// PendingSends reports records queued but not yet exchanged.
 	PendingSends() int
-}
-
-// NewBox constructs the mailbox variant selected by opts.Exchange from a
-// fully assembled Options value.
-//
-// Deprecated: use New with Option values.
-func NewBox(p *transport.Proc, handler Handler, opts Options) Box {
-	switch opts.Exchange {
-	case LazyExchange:
-		return newLazy(p, handler, opts)
-	case RoundExchange:
-		mb, err := NewRound(p, handler, opts)
-		if err != nil {
-			panic(err) // nil handler or unknown scheme: programming error
-		}
-		return mb
-	case SyncExchange:
-		mb, err := NewSync(p, handler, opts)
-		if err != nil {
-			panic(err)
-		}
-		return mb
-	}
-	panic(fmt.Sprintf("ygm: unknown exchange style %v", opts.Exchange))
 }
 
 var (
@@ -354,11 +325,6 @@ func (mb *Mailbox) Broadcast(payload []byte) {
 	mb.afterQueue()
 	mb.checkCapacityBound()
 }
-
-// SendBcast queues a broadcast to every other rank.
-//
-// Deprecated: use Broadcast.
-func (mb *Mailbox) SendBcast(payload []byte) { mb.Broadcast(payload) }
 
 // nlnrBcastFanout sends the NLNR remote-distribution stage for the
 // calling rank's residue class: one message per other node n' with

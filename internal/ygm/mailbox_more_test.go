@@ -136,7 +136,7 @@ func TestBroadcastFromEveryRank(t *testing.T) {
 					return func(s Sender, payload []byte) { cs.record(p.Rank(), decodeU64(payload)) }
 				},
 				func(p *transport.Proc, mb *Mailbox) error {
-					mb.SendBcast(encodeU64(uint64(p.Rank())))
+					mb.Broadcast(encodeU64(uint64(p.Rank())))
 					mb.WaitEmpty()
 					return nil
 				})
@@ -169,7 +169,7 @@ func TestSingleRankWorld(t *testing.T) {
 		},
 		func(p *transport.Proc, mb *Mailbox) error {
 			mb.Send(0, encodeU64(1))
-			mb.SendBcast(encodeU64(2)) // deprecated alias; no other ranks: no deliveries
+			mb.Broadcast(encodeU64(2)) // deprecated alias; no other ranks: no deliveries
 			mb.WaitEmpty()
 			// TestEmpty may need a couple of calls for a fresh cycle.
 			for {

@@ -22,7 +22,9 @@ func runMailbox(t *testing.T, nodes, cores int, opts Options, handler func(p *tr
 		Seed:          11,
 		TrackPartners: true,
 	}, func(p *transport.Proc) error {
-		mb := New(p, handler(p), WithOptions(opts), WithExchange(LazyExchange)).(*Mailbox)
+		o := opts
+		o.Exchange = LazyExchange
+		mb := newLazy(p, handler(p), o)
 		return body(p, mb)
 	})
 	if err != nil {

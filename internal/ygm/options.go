@@ -2,6 +2,7 @@ package ygm
 
 import (
 	"errors"
+	"fmt"
 
 	"ygm/internal/machine"
 	"ygm/internal/transport"
@@ -69,14 +70,6 @@ func WithHooks(h *TestHooks) Option {
 	return func(o *Options) { o.Hooks = h }
 }
 
-// WithOptions overlays a legacy Options struct wholesale — the bridge
-// for code still assembling Options values.
-//
-// Deprecated: compose the individual With* options instead.
-func WithOptions(legacy Options) Option {
-	return func(o *Options) { *o = legacy }
-}
-
 // New builds the mailbox variant selected by the options (RoundExchange
 // by default) on rank p with the given receive handler. It panics on a
 // nil handler or an invalid configuration: mailbox construction is
@@ -95,5 +88,21 @@ func New(p *transport.Proc, handler Handler, opts ...Option) Box {
 	for _, fn := range opts {
 		fn(&o)
 	}
-	return NewBox(p, handler, o)
+	switch o.Exchange {
+	case LazyExchange:
+		return newLazy(p, handler, o)
+	case RoundExchange:
+		mb, err := newRound(p, handler, o)
+		if err != nil {
+			panic(err) // nil handler or unknown scheme: programming error
+		}
+		return mb
+	case SyncExchange:
+		mb, err := newSync(p, handler, o)
+		if err != nil {
+			panic(err)
+		}
+		return mb
+	}
+	panic(fmt.Sprintf("ygm: unknown exchange style %v", o.Exchange))
 }

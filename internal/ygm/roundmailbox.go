@@ -115,9 +115,9 @@ func (st *roundStage) initSlots(topo machine.Topology, me machine.Rank) {
 	}
 }
 
-// NewRound builds a round-matched mailbox. Collective: all ranks must
+// newRound builds a round-matched mailbox. Collective: all ranks must
 // construct one with identical Options before exchanging.
-func NewRound(p *transport.Proc, handler Handler, opts Options) (*RoundMailbox, error) {
+func newRound(p *transport.Proc, handler Handler, opts Options) (*RoundMailbox, error) {
 	if handler == nil {
 		return nil, fmt.Errorf("ygm: nil handler")
 	}
@@ -247,11 +247,6 @@ func (mb *RoundMailbox) Broadcast(payload []byte) {
 	}
 	mb.maybeRound()
 }
-
-// SendBcast queues a broadcast to every other rank.
-//
-// Deprecated: use Broadcast.
-func (mb *RoundMailbox) SendBcast(payload []byte) { mb.Broadcast(payload) }
 
 func (mb *RoundMailbox) nlnrFanout(payload []byte) {
 	topo := mb.p.Topo()

@@ -18,7 +18,7 @@ func runRoundMailbox(t *testing.T, nodes, cores int, opts Options, handler func(
 		Model: netsim.Quartz(),
 		Seed:  11,
 	}, func(p *transport.Proc) error {
-		mb, err := NewRound(p, handler(p), opts)
+		mb, err := newRound(p, handler(p), opts)
 		if err != nil {
 			return err
 		}
@@ -32,7 +32,7 @@ func runRoundMailbox(t *testing.T, nodes, cores int, opts Options, handler func(
 
 func TestRoundNewValidation(t *testing.T) {
 	_, err := transport.Run(transport.Config{Topo: machine.New(1, 1)}, func(p *transport.Proc) error {
-		if _, err := NewRound(p, nil, Options{}); err == nil {
+		if _, err := newRound(p, nil, Options{}); err == nil {
 			return fmt.Errorf("nil handler accepted")
 		}
 		return nil
@@ -94,7 +94,7 @@ func TestRoundBroadcast(t *testing.T) {
 				},
 				func(p *transport.Proc, mb *RoundMailbox) error {
 					if p.Rank() == 5 {
-						mb.SendBcast(encodeU64(42))
+						mb.Broadcast(encodeU64(42))
 					}
 					mb.WaitEmpty()
 					return nil
@@ -259,13 +259,13 @@ func TestRoundMatchesAsyncDelivery(t *testing.T) {
 		opts := Options{Scheme: machine.NLNR, Capacity: 16}
 		if round {
 			runRoundMailbox(t, 3, 3, opts, handler, func(p *transport.Proc, mb *RoundMailbox) error {
-				workload(mb.Send, mb.SendBcast, p)
+				workload(mb.Send, mb.Broadcast, p)
 				mb.WaitEmpty()
 				return nil
 			})
 		} else {
 			runMailbox(t, 3, 3, opts, handler, func(p *transport.Proc, mb *Mailbox) error {
-				workload(mb.Send, mb.SendBcast, p)
+				workload(mb.Send, mb.Broadcast, p)
 				mb.WaitEmpty()
 				return nil
 			})
@@ -331,7 +331,7 @@ func TestRoundEpochIsolation(t *testing.T) {
 		phase := uint64(0)
 		var mb *RoundMailbox
 		var phaseErr error
-		mb, errNew := NewRound(p, func(s Sender, payload []byte) {
+		mb, errNew := newRound(p, func(s Sender, payload []byte) {
 			if got := decodeU64(payload); got != phase && phaseErr == nil {
 				phaseErr = fmt.Errorf("rank %d in phase %d received phase-%d message",
 					p.Rank(), phase, got)
@@ -417,7 +417,7 @@ func TestRoundRandomTrafficProperty(t *testing.T) {
 				myU, myB := uint64(0), uint64(0)
 				for i := 0; i < 50+10*trial; i++ {
 					if rng.Intn(9) == 0 {
-						mb.SendBcast(encodeU64(uint64(i)))
+						mb.Broadcast(encodeU64(uint64(i)))
 						myB++
 					} else {
 						mb.Send(machine.Rank(rng.Intn(p.WorldSize())), encodeU64(uint64(i)))

@@ -93,9 +93,9 @@ func (st *syncStage) initSlots(topo machine.Topology, me machine.Rank) {
 	st.scratch = make([]*transport.Packet, len(ranks))
 }
 
-// NewSync builds a synchronous mailbox. It is collective: every rank
+// newSync builds a synchronous mailbox. It is collective: every rank
 // must construct one with identical Options before any exchange.
-func NewSync(p *transport.Proc, handler Handler, opts Options) (*SyncMailbox, error) {
+func newSync(p *transport.Proc, handler Handler, opts Options) (*SyncMailbox, error) {
 	if handler == nil {
 		return nil, fmt.Errorf("ygm: nil handler")
 	}
@@ -251,11 +251,6 @@ func (mb *SyncMailbox) Broadcast(payload []byte) {
 		mb.nlnrFanout(payload)
 	}
 }
-
-// SendBcast queues a broadcast to every other rank.
-//
-// Deprecated: use Broadcast.
-func (mb *SyncMailbox) SendBcast(payload []byte) { mb.Broadcast(payload) }
 
 // nlnrFanout queues this rank's NLNR remote-distribution records.
 func (mb *SyncMailbox) nlnrFanout(payload []byte) {

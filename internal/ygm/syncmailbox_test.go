@@ -19,7 +19,7 @@ func runSyncMailbox(t *testing.T, nodes, cores int, opts Options, handler func(p
 		Model: netsim.Quartz(),
 		Seed:  11, // same seed as runMailbox: comparison tests share workloads
 	}, func(p *transport.Proc) error {
-		mb, err := NewSync(p, handler(p), opts)
+		mb, err := newSync(p, handler(p), opts)
 		if err != nil {
 			return err
 		}
@@ -33,7 +33,7 @@ func runSyncMailbox(t *testing.T, nodes, cores int, opts Options, handler func(p
 
 func TestSyncNewValidation(t *testing.T) {
 	_, err := transport.Run(transport.Config{Topo: machine.New(1, 1)}, func(p *transport.Proc) error {
-		if _, err := NewSync(p, nil, Options{}); err == nil {
+		if _, err := newSync(p, nil, Options{}); err == nil {
 			return fmt.Errorf("nil handler accepted")
 		}
 		return nil
@@ -105,7 +105,7 @@ func TestSyncBroadcast(t *testing.T) {
 				},
 				func(p *transport.Proc, mb *SyncMailbox) error {
 					if p.Rank() == 5 {
-						mb.SendBcast(encodeU64(42))
+						mb.Broadcast(encodeU64(42))
 					}
 					mb.ExchangeUntilQuiet()
 					return nil
@@ -194,13 +194,13 @@ func TestSyncMatchesAsyncDelivery(t *testing.T) {
 		opts := Options{Scheme: machine.NLNR, Capacity: 16}
 		if sync {
 			runSyncMailbox(t, 3, 3, opts, handler, func(p *transport.Proc, mb *SyncMailbox) error {
-				workload(mb.Send, mb.SendBcast, p)
+				workload(mb.Send, mb.Broadcast, p)
 				mb.ExchangeUntilQuiet()
 				return nil
 			})
 		} else {
 			runMailbox(t, 3, 3, opts, handler, func(p *transport.Proc, mb *Mailbox) error {
-				workload(mb.Send, mb.SendBcast, p)
+				workload(mb.Send, mb.Broadcast, p)
 				mb.WaitEmpty()
 				return nil
 			})
@@ -246,7 +246,7 @@ func TestSyncCouplesToStraggler(t *testing.T) {
 			return 1
 		},
 	}, func(p *transport.Proc) error {
-		mb, err := NewSync(p, func(s Sender, payload []byte) {}, Options{Scheme: machine.NodeRemote})
+		mb, err := newSync(p, func(s Sender, payload []byte) {}, Options{Scheme: machine.NodeRemote})
 		if err != nil {
 			return err
 		}
