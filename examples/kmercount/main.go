@@ -1,8 +1,9 @@
-// K-mer counting: the HipMer-inspired workload of Section II. Ranks
-// stream synthetic DNA reads, cut them into k-mers, and mail each k-mer
-// (a variable-length payload) to a hash-determined owner for counting —
-// the buffered many-to-many pattern used in distributed de Bruijn graph
-// construction.
+// K-mer counting: the HipMer-inspired workload of Section II, carried by
+// the distributed Counter container. Ranks stream synthetic DNA reads,
+// cut them into k-mers, and AsyncIncr each one — the container ships the
+// k-mer to its hash-determined owner through the coalescing mailbox, and
+// the collective queries (Size, TopK) answer the aggregate questions
+// that previously needed a hand-rolled handler and a post-run merge.
 //
 // Run with: go run ./examples/kmercount [-reads R] [-k K]
 package main
@@ -11,15 +12,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"sort"
 	"sync"
 
-	"ygm/internal/apps"
+	"ygm/internal/collective"
+	"ygm/internal/container"
 	"ygm/internal/machine"
 	"ygm/internal/netsim"
 	"ygm/internal/transport"
 	"ygm/internal/ygm"
 )
+
+var bases = []byte("ACGT")
 
 func main() {
 	reads := flag.Int("reads", 64, "reads per rank")
@@ -27,60 +30,59 @@ func main() {
 	k := flag.Int("k", 6, "k-mer length")
 	nodes := flag.Int("nodes", 4, "simulated compute nodes")
 	cores := flag.Int("cores", 4, "cores per node")
+	capacity := flag.Int("mailbox", 256, "mailbox capacity in records")
 	flag.Parse()
-
-	world := *nodes * *cores
-	cfg := apps.KmerCountConfig{
-		Mailbox:      ygm.Options{Scheme: machine.NodeRemote, Capacity: 256},
-		ReadsPerRank: *reads,
-		ReadLen:      *readLen,
-		K:            *k,
+	if *k <= 0 || *readLen < *k {
+		log.Fatalf("kmercount: need 0 < k <= readlen, have k=%d readlen=%d", *k, *readLen)
 	}
 
+	world := *nodes * *cores
 	var mu sync.Mutex
-	results := make([]*apps.KmerCountResult, world)
+	var produced, distinct uint64
+	var top []container.KeyCount
 	report, err := transport.Run(transport.NewConfig(machine.New(*nodes, *cores),
 		transport.WithModel(netsim.Quartz()),
 		transport.WithSeed(31),
 	), func(p *transport.Proc) error {
-		res, err := apps.KmerCount(p, cfg)
-		if err != nil {
-			return err
+		eng := container.NewEngine(p,
+			ygm.WithScheme(machine.NodeRemote),
+			ygm.WithCapacity(*capacity),
+		)
+		cnt := container.NewCounter(eng, nil)
+		comm := collective.World(p)
+
+		src := p.Rng()
+		read := make([]byte, *readLen)
+		var local uint64
+		for r := 0; r < *reads; r++ {
+			for i := range read {
+				read[i] = bases[src.Intn(4)]
+			}
+			for i := 0; i+*k <= *readLen; i++ {
+				cnt.AsyncIncr(read[i : i+*k])
+				local++
+			}
 		}
-		mu.Lock()
-		results[p.Rank()] = res
-		mu.Unlock()
+
+		d := cnt.Size() // quiescence barrier + distinct count
+		t := cnt.TopK(5)
+		total := comm.AllreduceU64([]uint64{local}, collective.SumU64)[0]
+		if p.Rank() == 0 {
+			mu.Lock()
+			produced, distinct, top = total, d, t
+			mu.Unlock()
+		}
 		return nil
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	type kc struct {
-		kmer  string
-		count uint64
-	}
-	var all []kc
-	var produced, distinct uint64
-	for _, r := range results {
-		produced += r.TotalKmers
-		for kmer, c := range r.Counts {
-			all = append(all, kc{kmer, c})
-			distinct++
-		}
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].count != all[j].count {
-			return all[i].count > all[j].count
-		}
-		return all[i].kmer < all[j].kmer
-	})
-
 	fmt.Printf("%d reads x %d ranks, k=%d: %d k-mer instances, %d distinct\n",
 		*reads, world, *k, produced, distinct)
 	fmt.Println("most frequent k-mers:")
-	for i := 0; i < 5 && i < len(all); i++ {
-		fmt.Printf("  %s  x%d\n", all[i].kmer, all[i].count)
+	for _, kc := range top {
+		fmt.Printf("  %s  x%d\n", kc.Key, kc.Count)
 	}
 	tot := report.Totals()
 	fmt.Printf("\nsimulated time %.1f us; %d remote packets averaging %.0f B (coalesced from %d-byte k-mers)\n",

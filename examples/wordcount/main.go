@@ -1,0 +1,167 @@
+// Word counting on the distributed Counter container: the canonical
+// owner-computes workload. Every rank streams its share of a synthetic
+// skewed word stream into container.Counter with fire-and-forget
+// AsyncIncr, then the collective queries answer the aggregate questions:
+// Size (distinct words), TopK (heavy hitters), and an order-independent
+// digest of the full key→count table.
+//
+// The word stream is derived from global word indices, so the counts —
+// and therefore the digest and top-K list — are identical no matter how
+// the work is distributed or which wire carries it:
+//
+//	go run ./examples/wordcount                              # simulated cluster
+//	go run ./examples/wordcount -wire=local                  # in-process, real time
+//	go run ./examples/wordcount -nodes 2 -cores 2 -wire=tcp -spawn   # 4 OS processes
+//	go run ./examples/wordcount -nodes 2 -cores 2 -wire=tcp -rank-id 3 -rendezvous 127.0.0.1:9411
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"sync"
+
+	"ygm/internal/collective"
+	"ygm/internal/container"
+	"ygm/internal/machine"
+	"ygm/internal/transport"
+	"ygm/internal/wirecli"
+	"ygm/internal/ygm"
+)
+
+func main() {
+	fs := flag.NewFlagSet("wordcount", flag.ExitOnError)
+	nodes := fs.Int("nodes", 2, "compute nodes")
+	cores := fs.Int("cores", 2, "cores per node")
+	words := fs.Int("words", 1<<20, "total words streamed across all ranks")
+	vocab := fs.Int("vocab", 5000, "vocabulary size")
+	topk := fs.Int("topk", 10, "heavy hitters to report")
+	mailbox := fs.Int("mailbox", 4096, "mailbox capacity (records)")
+	seed := fs.Int64("seed", 42, "word stream seed")
+	var wires wirecli.Flags
+	wires.Register(fs)
+	fs.Parse(os.Args[1:])
+
+	world := *nodes * *cores
+	if err := wires.Validate(world); err != nil {
+		log.Fatal(err)
+	}
+	if done, err := wires.Launch(world, os.Args[1:]); done {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	wire, err := wires.NewWire()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var res struct {
+		distinct uint64
+		digest   uint64
+		top      []container.KeyCount
+	}
+	report, err := transport.Run(transport.NewConfig(machine.New(*nodes, *cores),
+		transport.WithSeed(*seed),
+		transport.WithWire(wire),
+	), func(p *transport.Proc) error {
+		eng := container.NewEngine(p,
+			ygm.WithExchange(ygm.LazyExchange),
+			ygm.WithCapacity(*mailbox),
+		)
+		cnt := container.NewCounter(eng, nil)
+		comm := collective.World(p)
+
+		// This rank's contiguous slice of the global word index space.
+		// Each index maps to a word independently of the slicing, so any
+		// world size and any wire produce the same global counts.
+		rank, ws := int(p.Rank()), p.WorldSize()
+		lo := uint64(*words) * uint64(rank) / uint64(ws)
+		hi := uint64(*words) * uint64(rank+1) / uint64(ws)
+		key := make([]byte, 0, 16)
+		for g := lo; g < hi; g++ {
+			key = appendWord(key[:0], wordID(*seed, g, uint64(*vocab)))
+			cnt.AsyncIncr(key)
+		}
+
+		distinct := cnt.Size() // includes the quiescence barrier
+		top := cnt.TopK(*topk)
+
+		// Order-independent digest of the whole table: each shard mixes
+		// its entries, the mixes sum globally. Equal digests across wires
+		// mean equal key→count tables, not just equal headline numbers.
+		var local uint64
+		cnt.ForAll(func(word string, count uint64) {
+			local += mix64(fnv64(word) ^ (count * 0x9e3779b97f4a7c15))
+		})
+		digest := comm.AllreduceU64([]uint64{local}, collective.SumU64)[0]
+
+		if p.Rank() == 0 {
+			mu.Lock()
+			res.distinct, res.digest, res.top = distinct, digest, top
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !wires.IsRoot() {
+		return
+	}
+	fmt.Printf("wordcount: %d words over %d ranks (%s wire), vocab %d\n",
+		*words, world, wires.Wire, *vocab)
+	fmt.Printf("distinct %d\n", res.distinct)
+	fmt.Printf("digest %016x\n", res.digest)
+	fmt.Printf("top %d words:\n", len(res.top))
+	for _, kc := range res.top {
+		fmt.Printf("  %-12s x%d\n", kc.Key, kc.Count)
+	}
+	if wires.Wire == "sim" || wires.Wire == "" {
+		tot := report.Totals()
+		fmt.Printf("\nsimulated time %.1f us; %d remote packets averaging %.0f B\n",
+			report.Makespan()*1e6, tot.DataRemoteMsgs, tot.AvgDataRemoteMsgBytes())
+	}
+}
+
+// wordID maps a global word index to a vocabulary id with a triangular
+// skew toward low ids (min of two uniform draws), so the stream has
+// stable heavy hitters for TopK to find.
+func wordID(seed int64, g, vocab uint64) uint64 {
+	h := mix64(uint64(seed) + g*0x9e3779b97f4a7c15)
+	a, b := (h&0xffffffff)%vocab, (h>>32)%vocab
+	if b < a {
+		a = b
+	}
+	return a
+}
+
+func appendWord(dst []byte, id uint64) []byte {
+	dst = append(dst, 'w')
+	return strconv.AppendUint(dst, id, 10)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fnv64 is FNV-1a over the word bytes.
+func fnv64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -20,8 +20,12 @@ import (
 //     absorbs goroutine-scheduling nondeterminism in tie-breaks only.
 const (
 	// NsTolerance fails a micro bench whose ns/op regresses by more
-	// than this fraction over the committed baseline.
-	NsTolerance = 0.10
+	// than this fraction over the committed baseline. Wall-clock noise
+	// on shared CI hosts routinely exceeds 20% even for the minimum of
+	// several rounds, so this gate is a coarse tripwire for real
+	// regressions (algorithmic blowups, accidental O(n^2) paths); the
+	// strict per-op gate is allocs/op, which is host-independent.
+	NsTolerance = 0.35
 	// AllocTolerance absorbs run-to-run scheduling jitter in whole-world
 	// allocation counts (pool handoffs between rank goroutines vary
 	// slightly with interleaving); any increase beyond it fails.

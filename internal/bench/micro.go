@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"testing"
 
+	"ygm/internal/container"
 	"ygm/internal/machine"
 	"ygm/internal/netsim"
 	"ygm/internal/transport"
@@ -29,6 +30,41 @@ func MicroBenches() []MicroBench {
 		{"MailboxLazyNoRoute", func(b *testing.B) { microWorkload(b, ygm.LazyExchange, machine.NoRoute) }},
 		{"MailboxRoundNodeRemote", func(b *testing.B) { microWorkload(b, ygm.RoundExchange, machine.NodeRemote) }},
 		{"MailboxSyncNLNR", func(b *testing.B) { microWorkload(b, ygm.SyncExchange, machine.NLNR) }},
+		{"ContainerCounterLazyNLNR", func(b *testing.B) { containerWorkload(b, ygm.LazyExchange, machine.NLNR) }},
+		{"ContainerCounterRoundNoRoute", func(b *testing.B) { containerWorkload(b, ygm.RoundExchange, machine.NoRoute) }},
+	}
+}
+
+// containerWorkload is the distributed-container counterpart of
+// microWorkload: every rank streams 512 skewed word increments into a
+// container.Counter and the engine barrier drains the world — the
+// steady-state AsyncIncr hot path plus the container dispatch layer.
+func containerWorkload(b *testing.B, style ygm.ExchangeStyle, scheme machine.Scheme) {
+	const incrsPerRank = 512
+	topo := machine.New(4, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := transport.Run(transport.NewConfig(topo,
+			transport.WithModel(netsim.Quartz()),
+			transport.WithSeed(12345),
+		), func(p *transport.Proc) error {
+			eng := container.NewEngine(p,
+				ygm.WithScheme(scheme),
+				ygm.WithCapacity(256),
+				ygm.WithExchange(style))
+			cnt := container.NewCounter(eng, nil)
+			rng := p.Rng()
+			var key [8]byte
+			for k := 0; k < incrsPerRank; k++ {
+				binary.LittleEndian.PutUint64(key[:], uint64(rng.Intn(64)))
+				cnt.AsyncIncr(key[:])
+			}
+			eng.Barrier()
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

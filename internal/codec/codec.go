@@ -146,6 +146,14 @@ type Reader struct {
 // NewReader returns a Reader over buf. The Reader does not copy buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
+// Reset repoints the Reader at buf and rewinds it, so decode-heavy hot
+// paths (the container engine's per-message dispatch) can reuse one
+// Reader value instead of allocating a fresh one per payload.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.off = 0
+}
+
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }
 

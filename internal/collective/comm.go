@@ -109,14 +109,61 @@ func (c *Comm) nextOp() uint64 {
 	return c.seq
 }
 
+// Collective tag layout. Every field must be disjoint from the others
+// and from the two marker bits the transport layer interprets:
+// TagCollective (bit 32) must be set on every tag in this space, and
+// bit 63 must stay clear — TagRound = 1<<63 and stats.isDataTag
+// classifies any tag >= TagRound as round-exchange data traffic.
+//
+//	bits  0..7   round index within one operation
+//	bits  8..31  operation sequence, low 24 bits
+//	bit   32     TagCollective marker
+//	bits 33..40  operation sequence, high 8 bits
+//	bit   41     reply-stream discriminator (0 = collective op, 1 = ReplyTag)
+//	bits 42..62  member-list hash (21 bits)
+//	bit   63     clear (TagRound space)
+//
+// The sequence number is split around the marker bit so its full 32-bit
+// width survives: the previous layout shifted op by 8 across bits
+// 8..39, which overlapped bit 32 — op=X and op=X+2^24 produced
+// identical tags, silently aliasing long-lived communicators after 2^24
+// operations.
+const (
+	tagHashBits  = 21
+	tagHashShift = 42
+	tagReplyBit  = transport.Tag(1) << 41
+	tagOpHiShift = 33
+)
+
+// foldOp spreads a 32-bit sequence number into the two op fields on
+// either side of the TagCollective marker bit.
+func foldOp(op uint64) transport.Tag {
+	return transport.Tag((op&0xffffff)<<8) |
+		transport.Tag(((op>>24)&0xff)<<tagOpHiShift)
+}
+
 // tag derives the transport tag for round `round` of operation `op`.
-// Layout: the collective bit, 22 bits of member-list hash, 32 bits of
-// operation sequence, 8 bits of round.
 func (c *Comm) tag(op uint64, round int) transport.Tag {
 	return transport.TagCollective |
-		transport.Tag((c.hash&0x3fffff)<<41) |
-		transport.Tag((op&0xffffffff)<<8) |
+		transport.Tag((c.hash&((1<<tagHashBits)-1))<<tagHashShift) |
+		foldOp(op) |
 		transport.Tag(round&0xff)
+}
+
+// ReplyTag carves a point-to-point tag out of this communicator's tag
+// space for request/reply traffic that is *not* a collective operation
+// (e.g. the container layer's AsyncVisitFetch responses). The reply
+// discriminator bit keeps every ReplyTag structurally disjoint from
+// every collective-op tag of every communicator, including ones with an
+// identical member list: op tags have bit 41 clear, reply tags have it
+// set, and the CommNonce folded into the hash separates same-membership
+// communicators from each other. stream distinguishes independent reply
+// channels on the same communicator (full 32-bit width, split like the
+// op sequence).
+func (c *Comm) ReplyTag(stream uint64) transport.Tag {
+	return transport.TagCollective | tagReplyBit |
+		transport.Tag((c.hash&((1<<tagHashBits)-1))<<tagHashShift) |
+		foldOp(stream)
 }
 
 // send transmits payload to the member at index idx.

@@ -162,6 +162,36 @@ func (c *Comm) ReduceF64(root int, vals []float64, op func(a, b float64) float64
 	return acc
 }
 
+// ReduceBytes combines opaque payloads along a binomial tree rooted at
+// root with a caller-supplied merge. The root returns the reduction;
+// other members return nil. merge receives the accumulator and one
+// child's contribution and returns the new accumulator; the contribution
+// aliases a received packet, so merge must copy anything it keeps.
+// Payload ownership passes to the collective (it may be sent onward).
+// The container layer's top-K heavy-hitters query rides on this.
+func (c *Comm) ReduceBytes(root int, payload []byte, merge func(acc, in []byte) []byte) []byte {
+	opSeq := c.nextOp()
+	size := len(c.ranks)
+	c.checkRoot(root)
+	acc := payload
+	rel := (c.me - root + size) % size
+	round := 0
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask == 0 {
+			if rel|mask < size {
+				pkt := c.recv(c.tag(opSeq, round))
+				acc = merge(acc, pkt.Payload)
+			}
+		} else {
+			parent := (rel&^mask + root) % size
+			c.send(parent, c.tag(opSeq, round), acc)
+			return nil
+		}
+		round++
+	}
+	return acc
+}
+
 // AllreduceF64 reduces float vectors to member 0 and broadcasts back.
 func (c *Comm) AllreduceF64(vals []float64, op func(a, b float64) float64) []float64 {
 	acc := c.ReduceF64(0, vals, op)

@@ -1,0 +1,219 @@
+package container
+
+import (
+	"fmt"
+	"sort"
+
+	"ygm/internal/codec"
+	"ygm/internal/machine"
+)
+
+// Counter is a distributed accumulator: a multimap-style key→count
+// store where AsyncAdd contributions from every rank merge by addition
+// on the owner. The word-count/degree-count/kmer-count family is exactly
+// this container.
+type Counter struct {
+	e     *Engine
+	cid   uint64
+	part  Partitioner
+	world int
+
+	// local boxes the counts so increments mutate through the pointer —
+	// a map assignment with a converted []byte key would allocate on
+	// every AsyncAdd delivery instead of only on first touch.
+	local    map[string]*uint64
+	visitors []func(c *Counter, key, arg []byte)
+	fetchers []func(c *Counter, key, arg []byte, reply *codec.Writer)
+}
+
+// KeyCount is one entry of a TopK result.
+type KeyCount struct {
+	Key   string
+	Count uint64
+}
+
+// NewCounter registers a fresh Counter on the engine. Collective; nil
+// partitioner means the default HashPartitioner.
+func NewCounter(e *Engine, part Partitioner) *Counter {
+	if part == nil {
+		part = HashPartitioner{}
+	}
+	c := &Counter{
+		e:     e,
+		part:  part,
+		world: e.p.WorldSize(),
+		local: make(map[string]*uint64),
+	}
+	c.cid = e.register(c)
+	return c
+}
+
+// Owner returns the rank that accumulates key.
+func (c *Counter) Owner(key []byte) machine.Rank { return c.part.Owner(key, c.world) }
+
+// AsyncAdd ships a contribution of delta to key's owner.
+//
+//ygm:hotpath
+func (c *Counter) AsyncAdd(key []byte, delta uint64) {
+	c.e.asyncAdd(c.Owner(key), c.cid, key, delta)
+}
+
+// AsyncIncr is AsyncAdd with delta 1.
+//
+//ygm:hotpath
+func (c *Counter) AsyncIncr(key []byte) { c.AsyncAdd(key, 1) }
+
+// RegisterVisitor installs a fire-and-forget visitor (Map contract).
+func (c *Counter) RegisterVisitor(fn func(c *Counter, key, arg []byte)) uint64 {
+	c.visitors = append(c.visitors, fn)
+	return uint64(len(c.visitors) - 1)
+}
+
+// RegisterFetcher installs a reply-producing visitor for AsyncVisitFetch.
+func (c *Counter) RegisterFetcher(fn func(c *Counter, key, arg []byte, reply *codec.Writer)) uint64 {
+	c.fetchers = append(c.fetchers, fn)
+	return uint64(len(c.fetchers) - 1)
+}
+
+// AsyncVisit runs visitor vid on key's owner.
+//
+//ygm:hotpath
+func (c *Counter) AsyncVisit(vid uint64, key, arg []byte) {
+	c.e.asyncVisit(c.Owner(key), c.cid, vid, key, arg)
+}
+
+// AsyncVisitFetch runs fetcher vid on key's owner and routes the reply
+// back to cb (Map.AsyncVisitFetch contract).
+func (c *Counter) AsyncVisitFetch(vid uint64, key, arg []byte, cb func(reply []byte)) {
+	c.e.asyncFetch(c.Owner(key), c.cid, vid, key, arg, cb)
+}
+
+// LocalAdd folds delta into key on this rank directly (owner-side
+// mutation for visitors that compute contributions in place; the
+// Map.LocalPut contract).
+func (c *Counter) LocalAdd(key []byte, delta uint64) { c.applyAdd(key, delta) }
+
+// LocalCount returns key's accumulated count on this rank's shard.
+func (c *Counter) LocalCount(key []byte) uint64 {
+	if p, ok := c.local[string(key)]; ok {
+		return *p
+	}
+	return 0
+}
+
+// ForAll applies fn to every key→count pair, shard by shard, after a
+// Barrier. Collective; fn must not issue container operations.
+func (c *Counter) ForAll(fn func(key string, count uint64)) {
+	c.e.Barrier()
+	for k, p := range c.local {
+		fn(k, *p)
+	}
+}
+
+// Size returns the global number of distinct keys (collective, includes
+// a Barrier).
+func (c *Counter) Size() uint64 {
+	c.e.Barrier()
+	return c.e.allreduceSum(uint64(len(c.local)))
+}
+
+// LocalSize returns this rank's shard size without synchronizing.
+func (c *Counter) LocalSize() int { return len(c.local) }
+
+// TopK returns the k globally heaviest keys, ordered by descending
+// count with ties broken by ascending key — the heavy-hitters query.
+// Collective: every rank gets the same result. Each rank selects its
+// local top k, then the candidate lists merge pairwise up a binomial
+// tree (no rank ever materializes more than 2k candidates) and the root
+// broadcasts the winners.
+func (c *Counter) TopK(k int) []KeyCount {
+	c.e.Barrier()
+	cand := make([]KeyCount, 0, len(c.local))
+	for key, p := range c.local {
+		cand = append(cand, KeyCount{Key: key, Count: *p})
+	}
+	cand = trimTopK(cand, k)
+	merged := c.e.comm.ReduceBytes(0, encodeKeyCounts(cand), func(acc, in []byte) []byte {
+		both := append(decodeKeyCounts(acc), decodeKeyCounts(in)...)
+		return encodeKeyCounts(trimTopK(both, k))
+	})
+	return decodeKeyCounts(c.e.comm.Bcast(0, merged))
+}
+
+// trimTopK sorts by (count desc, key asc) and keeps at most k entries.
+func trimTopK(kc []KeyCount, k int) []KeyCount {
+	sort.Slice(kc, func(i, j int) bool {
+		if kc[i].Count != kc[j].Count {
+			return kc[i].Count > kc[j].Count
+		}
+		return kc[i].Key < kc[j].Key
+	})
+	if len(kc) > k {
+		kc = kc[:k]
+	}
+	return kc
+}
+
+func encodeKeyCounts(kc []KeyCount) []byte {
+	w := codec.NewWriter(16 * (len(kc) + 1))
+	w.Uvarint(uint64(len(kc)))
+	for _, e := range kc {
+		w.String(e.Key)
+		w.Uvarint(e.Count)
+	}
+	return w.Bytes()
+}
+
+func decodeKeyCounts(buf []byte) []KeyCount {
+	r := codec.NewReader(buf)
+	n, err := r.Uvarint()
+	if err != nil {
+		panic(fmt.Sprintf("container: corrupt top-k payload: %v", err))
+	}
+	out := make([]KeyCount, 0, n)
+	for i := uint64(0); i < n; i++ {
+		key, err1 := r.String()
+		cnt, err2 := r.Uvarint()
+		if err1 != nil || err2 != nil {
+			panic(fmt.Sprintf("container: corrupt top-k payload: %v %v", err1, err2))
+		}
+		out = append(out, KeyCount{Key: key, Count: cnt})
+	}
+	return out
+}
+
+// instance implementation (owner side).
+
+func (c *Counter) applyInsert(key, val []byte) {
+	panic("container: Counter does not support opInsert (use AsyncAdd)")
+}
+
+func (c *Counter) applyErase(key []byte) {
+	delete(c.local, string(key))
+}
+
+//ygm:hotpath
+func (c *Counter) applyAdd(key []byte, delta uint64) {
+	if p, ok := c.local[string(key)]; ok {
+		*p += delta
+		return
+	}
+	v := delta
+	c.local[string(key)] = &v
+}
+
+func (c *Counter) runVisit(vid uint64, key, arg []byte) {
+	if vid >= uint64(len(c.visitors)) {
+		panic(fmt.Sprintf("container: counter visit with unregistered visitor %d", vid))
+	}
+	c.visitors[vid](c, key, arg)
+}
+
+func (c *Counter) runFetch(vid uint64, key, arg []byte, reply *codec.Writer) {
+	if vid >= uint64(len(c.fetchers)) {
+		panic(fmt.Sprintf("container: counter fetch with unregistered fetcher %d", vid))
+	}
+	c.fetchers[vid](c, key, arg, reply)
+}
+
+func (c *Counter) localLen() uint64 { return uint64(len(c.local)) }

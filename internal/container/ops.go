@@ -1,0 +1,53 @@
+package container
+
+import "ygm/internal/machine"
+
+// Shared fire-and-forget encoders. Each encodes one operation frame into
+// a nested scratch slot and queues it on the mailbox; the mailbox copies
+// the frame into its coalescing buffer before returning (self-owned keys
+// deliver synchronously inside the Send), so the slot is immediately
+// reusable. These are the steady-state zero-allocation hot path.
+
+//ygm:hotpath
+func (e *Engine) asyncInsert(owner machine.Rank, cid uint64, key, val []byte) {
+	w := e.pushWriter()
+	w.Uvarint(cid)
+	w.Byte(opInsert)
+	w.Bytes0(key)
+	w.Bytes0(val)
+	e.mb.Send(owner, w.Bytes())
+	e.popWriter()
+}
+
+//ygm:hotpath
+func (e *Engine) asyncErase(owner machine.Rank, cid uint64, key []byte) {
+	w := e.pushWriter()
+	w.Uvarint(cid)
+	w.Byte(opErase)
+	w.Bytes0(key)
+	e.mb.Send(owner, w.Bytes())
+	e.popWriter()
+}
+
+//ygm:hotpath
+func (e *Engine) asyncAdd(owner machine.Rank, cid uint64, key []byte, delta uint64) {
+	w := e.pushWriter()
+	w.Uvarint(cid)
+	w.Byte(opAdd)
+	w.Uvarint(delta)
+	w.Bytes0(key)
+	e.mb.Send(owner, w.Bytes())
+	e.popWriter()
+}
+
+//ygm:hotpath
+func (e *Engine) asyncVisit(owner machine.Rank, cid, vid uint64, key, arg []byte) {
+	w := e.pushWriter()
+	w.Uvarint(cid)
+	w.Byte(opVisit)
+	w.Uvarint(vid)
+	w.Bytes0(key)
+	w.Bytes0(arg)
+	e.mb.Send(owner, w.Bytes())
+	e.popWriter()
+}

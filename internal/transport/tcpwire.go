@@ -3,11 +3,13 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ygm/internal/codec"
@@ -84,8 +86,10 @@ type TCPWire struct {
 	// goroutine.
 	peers []*tcpPeer
 
-	// rendezvous residue kept open until Finish: the root's listener and
-	// accepted conns, or the client's conn to the root.
+	// rendezvous residue: the accepted conns (root) or the conn to the
+	// root (client) stay open until Finish; the root's listener is
+	// closed as soon as the start barrier completes, so stray late
+	// dialers fail fast instead of hanging against a silent listener.
 	rdvLn    net.Listener
 	rdvConns []net.Conn
 
@@ -169,6 +173,17 @@ func (t *TCPWire) Start(w *World) error {
 		t.closeAll()
 		return err
 	}
+	// The rendezvous listener has served its purpose once the start
+	// barrier releases: every legitimate rank is connected. Close it now
+	// so a stray process — a duplicate rank id, a survivor of a previous
+	// run, a typo'd -rank-id — gets an immediate connection refusal (or
+	// a reset of its half-open backlog connection) instead of waiting
+	// out its own full handshake deadline against a silent listener.
+	// The accepted rendezvous conns stay open for the goodbye exchange.
+	if t.rdvLn != nil {
+		t.rdvLn.Close()
+		t.rdvLn = nil
+	}
 	// Anchor the real-time clocks after the barrier and before any
 	// reader can stamp an arrival, so makespans exclude the handshake
 	// and no stamp precedes the epoch.
@@ -195,6 +210,14 @@ func (t *TCPWire) rendezvousRoot(selfAddr string, deadline time.Time) ([]string,
 		ln, err = net.Listen("tcp", t.opt.Rendezvous)
 		if err == nil {
 			break
+		}
+		// Only "address already in use" is worth waiting out (a previous
+		// run's socket draining, or back-to-back runs reusing one
+		// rendezvous address). Every other listen failure — malformed
+		// address, unroutable host, permission denied — is permanent, and
+		// retrying it would turn a clean error into a deadline hang.
+		if !errors.Is(err, syscall.EADDRINUSE) {
+			return nil, fmt.Errorf("tcp: rendezvous listen %s: %w", t.opt.Rendezvous, err)
 		}
 		if hostNow().After(deadline) {
 			return nil, fmt.Errorf("tcp: rendezvous listen %s: %w", t.opt.Rendezvous, err)

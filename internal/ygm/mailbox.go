@@ -107,6 +107,10 @@ type Box interface {
 	Stats() Stats
 	// PendingSends reports records queued but not yet exchanged.
 	PendingSends() int
+	// Proc exposes the transport endpoint the mailbox runs on, so
+	// layers above (collectives, the container engine's reply stream)
+	// can share it without threading it separately.
+	Proc() *transport.Proc
 }
 
 var (

@@ -14,6 +14,12 @@ import (
 // unilateral nonblocking progress.
 var ErrUnsupported = errors.New("ygm: operation not supported by this mailbox variant")
 
+// YgmcheckEnabled reports whether the build carries the ygmcheck runtime
+// invariant layer, whose assertions box their arguments — packages
+// layered on the mailbox (the container engine) skip their zero-alloc
+// pins on instrumented builds, mirroring this package's own pins.
+func YgmcheckEnabled() bool { return ygmcheckEnabled }
+
 // Option configures a mailbox built by New. Options compose left to
 // right; later options override earlier ones.
 type Option func(*Options)

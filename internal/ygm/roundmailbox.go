@@ -180,6 +180,9 @@ func newRound(p *transport.Proc, handler Handler, opts Options) (*RoundMailbox, 
 // Stats returns a copy of the mailbox counters.
 func (mb *RoundMailbox) Stats() Stats { return mb.stats }
 
+// Proc exposes the transport endpoint the mailbox runs on.
+func (mb *RoundMailbox) Proc() *transport.Proc { return mb.p }
+
 // PendingSends reports records queued for upcoming rounds.
 func (mb *RoundMailbox) PendingSends() int { return mb.queued }
 

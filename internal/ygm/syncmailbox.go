@@ -187,6 +187,9 @@ func newSync(p *transport.Proc, handler Handler, opts Options) (*SyncMailbox, er
 // Stats returns a copy of the mailbox counters.
 func (mb *SyncMailbox) Stats() Stats { return mb.stats }
 
+// Proc exposes the transport endpoint the mailbox runs on.
+func (mb *SyncMailbox) Proc() *transport.Proc { return mb.p }
+
 // PendingSends reports queued, not-yet-exchanged records.
 func (mb *SyncMailbox) PendingSends() int { return mb.queued }
 
