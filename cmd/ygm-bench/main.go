@@ -52,6 +52,7 @@ func run(args []string) (retErr error) {
 	benchCompare := fs.String("bench-compare", "", "collect a fresh baseline and gate it against this committed file")
 	benchRounds := fs.Int("bench-rounds", 3, "micro-bench rounds per entry for -bench-json/-bench-compare (best kept)")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this path (open in ui.perfetto.dev)")
+	weakScaling := fs.String("weak-scaling", "", "run the scheduler weak-scaling sweep at these comma-separated rank counts (e.g. 1024,4096,16384,65536)")
 	synchSweep := fs.String("synch-sweep", "", "run the synchronizability sweep (all shapes x schemes x variants) and write the per-cell JSON summary to this path")
 	synchSeeds := fs.Int("synch-seeds", 4, "seeded workloads per cell for -synch-sweep")
 	validateTrace := fs.String("validate-trace", "", "validate a trace file produced by -trace and exit (used by the CI trace smoke job)")
@@ -89,6 +90,10 @@ func run(args []string) (retErr error) {
 
 	if *synchSweep != "" {
 		return runSynchSweep(*synchSweep, *synchSeeds, *seed)
+	}
+
+	if *weakScaling != "" {
+		return runWeakScaling(*weakScaling, *seed, *format)
 	}
 
 	if *validateTrace != "" {
@@ -235,6 +240,36 @@ func runBaseline(writePath, comparePath string, rounds int) error {
 		}
 		fmt.Printf("# no regressions against %s\n", comparePath)
 	}
+	return nil
+}
+
+// runWeakScaling implements -weak-scaling: one scheduled
+// bcast+barrier world per requested rank count, reported through the
+// standard table/CSV path. The sweep measures host-side cost growth
+// (wall seconds, allocated MiB) against world size — the number the
+// M:N scheduler and sparse inboxes exist to keep linear.
+func runWeakScaling(spec string, seed int64, format string) error {
+	var ranks []int
+	for _, tok := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -weak-scaling entry %q", tok)
+		}
+		ranks = append(ranks, n)
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	points, err := bench.WeakScale(ranks, seed)
+	if err != nil {
+		return err
+	}
+	table := bench.WeakScaleTable(points)
+	if format == "csv" {
+		table.PrintCSV(os.Stdout)
+		return nil
+	}
+	table.Print(os.Stdout)
 	return nil
 }
 

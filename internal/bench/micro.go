@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/binary"
+	"runtime"
 	"testing"
 
 	"ygm/internal/container"
@@ -32,6 +33,33 @@ func MicroBenches() []MicroBench {
 		{"MailboxSyncNLNR", func(b *testing.B) { microWorkload(b, ygm.SyncExchange, machine.NLNR) }},
 		{"ContainerCounterLazyNLNR", func(b *testing.B) { containerWorkload(b, ygm.LazyExchange, machine.NLNR) }},
 		{"ContainerCounterRoundNoRoute", func(b *testing.B) { containerWorkload(b, ygm.RoundExchange, machine.NoRoute) }},
+		{"TreeBarrierSparse1k", func(b *testing.B) { largeWorldWorkload(b, 1024) }},
+		{"TreeBarrierSched4k", func(b *testing.B) { largeWorldWorkload(b, 4096) }},
+	}
+}
+
+// largeWorldWorkload pins the large-world hot path the M:N scheduler
+// and sparse inboxes own: world construction, a binomial broadcast, and
+// a dissemination barrier at `ranks` ranks, all multiplexed onto a
+// GOMAXPROCS worker pool. Its allocs/op gates the O(active edges)
+// property — a regression back toward O(P²) ring setup moves this
+// number by orders of magnitude, not percent.
+func largeWorldWorkload(b *testing.B, ranks int) {
+	topo := machine.New(ranks/32, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := transport.Run(transport.NewConfig(topo,
+			transport.WithModel(netsim.Quartz()),
+			transport.WithSeed(12345),
+			transport.WithWorkers(runtime.GOMAXPROCS(0)),
+		), func(p *transport.Proc) error {
+			treeBcast(p, transport.TagUser)
+			treeBarrier(p, transport.TagUser+1)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -12,7 +12,6 @@ package havoq
 import (
 	"container/heap"
 	"fmt"
-	"runtime"
 
 	"ygm/internal/machine"
 	"ygm/internal/transport"
@@ -176,7 +175,7 @@ func (e *Engine) Run() {
 			return
 		}
 		// Idle: give peer goroutines the host CPU while we poll.
-		runtime.Gosched()
+		e.p.Yield()
 	}
 }
 

@@ -231,6 +231,31 @@ func (c *Clock) WaitUntil(t float64) {
 // MaxJump returns the largest single idle-wait interval (diagnostic).
 func (c *Clock) MaxJump() float64 { return c.maxJump }
 
+// AbsorbAt performs the receive-side clock update for a message that
+// arrived at virtual time t and costs overhead seconds to receive:
+// fast-forward to t when it lies in the future (accounting the skipped
+// interval as wait time), then advance by overhead (busy time). It
+// returns the skipped interval — 0 when the message had already
+// arrived — which is the "jump" the transport's diagnostics report.
+// Semantically WaitUntil(t) followed by Advance(overhead), fused
+// because the pair brackets every simulated receive.
+func (c *Clock) AbsorbAt(t, overhead float64) (jump float64) {
+	if t > c.now {
+		jump = t - c.now
+		if jump > c.maxJump {
+			c.maxJump = jump
+		}
+		c.wait += jump
+		c.now = t
+	}
+	if overhead < 0 {
+		panic("netsim: negative clock advance")
+	}
+	c.now += overhead
+	c.busy += overhead
+	return jump
+}
+
 // Utilization returns busy / now, the fraction of elapsed virtual time
 // this rank spent doing useful work. Returns 1 for a clock that never
 // moved.

@@ -101,6 +101,11 @@ type Case struct {
 	// nonblocking TestEmpty polling instead of WaitEmpty (ignored by
 	// the other variants).
 	TestEmptyBarrier bool
+	// Workers forces the transport's M:N rank scheduler worker count
+	// (transport.Config.Workers): 0 keeps the transport's auto policy,
+	// >0 forces the scheduler on with that many workers, -1 forces the
+	// direct goroutine-per-rank model.
+	Workers int
 	// Mutant injects a deliberate fault (see mutants.go); MutantNone
 	// for clean runs.
 	Mutant Mutant
@@ -149,6 +154,9 @@ func (c Case) String() string {
 	fmt.Fprintf(&b, "seed=%d,topo=%dx%d,scheme=%s,variant=%s,phases=%d,msgs=%d,cap=%d,payload=%d,ttl=%d,bcast=%d,jitter=%d,testempty=%d",
 		c.Seed, c.Nodes, c.Cores, c.Scheme, c.Variant, c.Phases, c.Msgs,
 		c.Capacity, c.MaxPayload, c.TTL, c.BcastEvery, b2i(c.Jitter), b2i(c.TestEmptyBarrier))
+	if c.Workers != 0 {
+		fmt.Fprintf(&b, ",workers=%d", c.Workers)
+	}
 	if c.Mutant != MutantNone {
 		fmt.Fprintf(&b, ",mutant=%s", c.Mutant)
 	}
@@ -203,6 +211,8 @@ func ParseCase(s string) (Case, error) {
 			c.Jitter = v == "1"
 		case "testempty":
 			c.TestEmptyBarrier = v == "1"
+		case "workers":
+			c.Workers, err = strconv.Atoi(v)
 		case "mutant":
 			c.Mutant, err = ParseMutant(v)
 		default:

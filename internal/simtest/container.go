@@ -52,6 +52,9 @@ type ContainerCase struct {
 	Capacity int
 	// Wire selects the transport backend: "" or "sim", or "local".
 	Wire string
+	// Workers forces the transport's M:N rank scheduler worker count
+	// (transport.Config.Workers); 0 keeps the auto policy.
+	Workers int
 }
 
 func (c ContainerCase) String() string {
@@ -59,8 +62,12 @@ func (c ContainerCase) String() string {
 	if wire == "" {
 		wire = "sim"
 	}
-	return fmt.Sprintf("seed=%d,topo=%dx%d,variant=%s,phases=%d,ops=%d,slots=%d,ckeys=%d,ttl=%d,cap=%d,wire=%s",
+	s := fmt.Sprintf("seed=%d,topo=%dx%d,variant=%s,phases=%d,ops=%d,slots=%d,ckeys=%d,ttl=%d,cap=%d,wire=%s",
 		c.Seed, c.Nodes, c.Cores, c.Variant, c.Phases, c.Ops, c.Slots, c.CKeys, c.TTL, c.Capacity, wire)
+	if c.Workers != 0 {
+		s += fmt.Sprintf(",workers=%d", c.Workers)
+	}
+	return s
 }
 
 func (c ContainerCase) validate() error {
@@ -250,6 +257,7 @@ func runContainerChecked(c ContainerCase, model containerModel) Outcome {
 	cfgOpts := []transport.ConfigOption{
 		transport.WithSeed(c.Seed),
 		transport.WithTrace(rec),
+		transport.WithWorkers(c.Workers),
 	}
 	if c.Wire == "local" {
 		cfgOpts = append(cfgOpts, transport.WithWire(transport.LocalWire{}))

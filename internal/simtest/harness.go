@@ -3,7 +3,6 @@ package simtest
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"time"
 
 	"ygm/internal/machine"
@@ -93,6 +92,7 @@ func runCaseLogged(c Case, tr transport.Tracer) (Outcome, *synch.Log) {
 		transport.WithSeed(c.Seed),
 		transport.WithTrace(transport.NewMultiTracer(o, rec, tr)),
 		transport.WithWatchdogInterval(watchdogInterval),
+		transport.WithWorkers(c.Workers),
 	)
 	if c.Jitter {
 		cfg.Delay = jitterDelay(c.Seed, topo.WorldSize())
@@ -205,7 +205,7 @@ func runRank(p *transport.Proc, c Case, o *oracle, rec *synch.Recorder, hooks *y
 				// peers sharing the OS thread progress, and unwind instead
 				// of livelocking if one already died.
 				p.AbortIfPeerFailed()
-				runtime.Gosched()
+				p.Yield()
 			}
 		}
 	}

@@ -2,6 +2,8 @@
 
 package transport
 
+import "ygm/internal/machine"
+
 // ygmcheckEnabled reports whether the runtime invariant layer is compiled
 // in. This is the default build: all checks compile to no-ops.
 const ygmcheckEnabled = false
@@ -17,3 +19,11 @@ func (ib *Inbox) checkAbsorbed(*inboxRing, *Packet) {}
 func (ib *Inbox) checkRingFlush(*inboxRing) {}
 
 func (p *Proc) checkClockMonotone() {}
+
+func (s *scheduler) checkSchedEnqueue(machine.Rank) {}
+
+func (s *scheduler) checkSchedDequeue(machine.Rank) {}
+
+func (s *scheduler) checkSchedTokens() {}
+
+func (s *scheduler) checkSchedDoubleReady(machine.Rank) {}

@@ -76,3 +76,11 @@ func WithComputeScale(f func(machine.Rank) float64) ConfigOption {
 func WithFlightRecorder(n int) ConfigOption {
 	return func(c *Config) { c.FlightRecorder = n }
 }
+
+// WithWorkers selects the execution model: a positive n forces the M:N
+// rank scheduler with n worker tokens, -1 forces the direct
+// goroutine-per-rank model, and 0 (the default) picks automatically by
+// world size (see Config.Workers and DESIGN.md §15).
+func WithWorkers(n int) ConfigOption {
+	return func(c *Config) { c.Workers = n }
+}

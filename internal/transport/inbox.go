@@ -34,6 +34,16 @@ const (
 	// not committing O(P²) slots when most channels never carry traffic.
 	ringSlabWorlds = 128
 
+	// denseWorlds bounds the world size for which an inbox keeps the
+	// dense layout: a P-wide ring-header array plus the active-channel
+	// bitmap (covered by activeInline up to exactly this size). Larger
+	// worlds switch to the sparse layout — channels materialize on first
+	// push and readiness rides a dirty-ring stack — so an idle world
+	// costs O(P) instead of O(P²) bytes. Worlds of at most
+	// ringSlabWorlds ranks are untouched by the split: they keep the
+	// slab-carved fast path bit for bit.
+	denseWorlds = 256
+
 	// parkSpins bounds the spin phase of a blocking receive: the
 	// consumer re-absorbs and yields this many times before parking on
 	// the wake channel. Spinning must yield — on GOMAXPROCS=1 a
@@ -158,6 +168,26 @@ func (h *packetHeap) popMin() *Packet {
 	return p
 }
 
+// sparseRing is one lazily-materialized src→dst channel of a sparse
+// inbox: the same SPSC ring, created by its producer on first push
+// instead of being slab-carved at world construction. dirty/next link
+// it into the inbox's Treiber stack of rings with unabsorbed packets —
+// the sparse replacement for the dense active bitmap, O(dirty channels)
+// to drain instead of O(P/64) words to scan.
+type sparseRing struct {
+	inboxRing
+	src machine.Rank
+	// dirty is true while the ring sits on (or is being pushed onto) the
+	// inbox's dirty stack. The producer sets it after publishing a
+	// packet; the CAS winner links the ring into the stack. The consumer
+	// clears it before draining, so a packet published after the clear
+	// re-queues the ring rather than being stranded.
+	dirty atomic.Bool
+	// next is the stack link, written only by the dirty-CAS winner
+	// before the stack-head CAS publishes it.
+	next *sparseRing
+}
+
 // Inbox is a rank's receive queue. Producers (one goroutine per sending
 // rank) push lock-free into their channel's ring; the owning rank — the
 // only consumer — absorbs all non-empty rings into consumer-private
@@ -165,8 +195,28 @@ func (h *packetHeap) popMin() *Packet {
 // receives spin briefly (re-absorbing between yields) and then park on a
 // one-token wake channel that producers post to only when they observe
 // the parked state.
+//
+// Worlds larger than denseWorlds use the sparse layout instead of the
+// dense P-wide ring array: srings maps source rank → lazily created
+// ring, and dirtyHead stacks the rings with unabsorbed traffic.
 type Inbox struct {
 	rings []inboxRing
+
+	// srMu guards srings, the sparse channel table (nil on the dense
+	// path — srings non-nil is the layout discriminator). Producers take
+	// the read lock per push and the write lock once per materialized
+	// channel; the watchdog's progress scan reads under the read lock.
+	srMu      sync.RWMutex
+	srings    map[machine.Rank]*sparseRing
+	dirtyHead atomic.Pointer[sparseRing]
+
+	// sched/self route the park protocol to the world's M:N rank
+	// scheduler when one is active: producers that win the unpark CAS
+	// call sched.ready(self) instead of posting a channel token, and the
+	// consumer parks by donating its worker token back to the scheduler.
+	// sched is nil under the direct goroutine-per-rank model.
+	sched *scheduler
+	self  machine.Rank
 	// active is a bitmap of channels with possibly-unabsorbed packets:
 	// producers set their bit after every push, the consumer swaps
 	// whole words to zero while absorbing. An all-zero bitmap makes the
@@ -230,15 +280,31 @@ type Inbox struct {
 	checkRings    map[*inboxRing]*ringCheck
 }
 
-// NewInbox returns an empty inbox for a world of worldSize ranks. Every
-// sending rank gets its own SPSC ring; worldSize is also the only legal
-// exclusive upper bound for Packet.Src values pushed here.
+// NewInbox returns an empty inbox for a world of worldSize ranks. Dense
+// worlds (≤ denseWorlds) give every sending rank its own SPSC ring up
+// front; larger worlds use the sparse layout and materialize channels
+// on first push. worldSize is also the only legal exclusive upper bound
+// for Packet.Src values pushed here.
 func NewInbox(worldSize int) *Inbox {
+	if worldSize > denseWorlds {
+		return newSparseInbox()
+	}
 	var slab []*Packet
 	if worldSize <= ringSlabWorlds {
 		slab = make([]*Packet, worldSize*ringCap)
 	}
 	return newInboxFrom(make([]inboxRing, worldSize), slab)
+}
+
+// newSparseInbox builds an inbox with the sparse channel layout: no
+// per-source ring array, no active bitmap — O(1) memory until traffic
+// materializes channels.
+func newSparseInbox() *Inbox {
+	return &Inbox{
+		srings:    make(map[machine.Rank]*sparseRing, 8),
+		queues:    make(map[Tag]*packetHeap),
+		freeHeaps: make([]*packetHeap, 0, 8),
+	}
 }
 
 // newInboxFrom builds an inbox over caller-provided ring headers and an
@@ -276,6 +342,10 @@ func newInboxFrom(rings []inboxRing, slab []*Packet) *Inbox {
 //
 //ygm:hotpath
 func (ib *Inbox) Push(p *Packet) {
+	if ib.srings != nil {
+		ib.pushSparse(p)
+		return
+	}
 	// Everything needed after publication is read before it: the moment
 	// the tail store (or the overflow unlock) makes p visible, the
 	// consumer may absorb, deliver, and recycle it.
@@ -301,9 +371,95 @@ func (ib *Inbox) Push(p *Packet) {
 		r.ofMu.Unlock()
 	}
 	ib.markActive(src)
+	ib.signal()
+}
+
+// pushSparse is Push for the sparse layout: resolve (or materialize)
+// the source channel, publish into its ring, and flag it on the dirty
+// stack instead of the bitmap.
+//
+//ygm:hotpath
+func (ib *Inbox) pushSparse(p *Packet) {
+	r := ib.sparseRingFor(p.Src)
+	p.seq = r.seq
+	r.seq++
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t-h < ringCap {
+		r.buf[t&ringMask] = p
+		r.tail.Store(t + 1)
+		ib.checkRingBounds(&r.inboxRing, h, t+1)
+	} else {
+		r.ofMu.Lock()
+		r.of = append(r.of, p)
+		r.ofPushed.Add(1)
+		r.ofMu.Unlock()
+	}
+	ib.markDirty(r)
+	ib.signal()
+}
+
+// sparseRingFor resolves the channel for src, creating it on first use.
+// The read-locked lookup is the steady state; creation takes the write
+// lock once per (src→dst) edge that ever carries traffic.
+//
+//ygm:hotpath
+func (ib *Inbox) sparseRingFor(src machine.Rank) *sparseRing {
+	ib.srMu.RLock()
+	r := ib.srings[src]
+	ib.srMu.RUnlock()
+	if r != nil {
+		return r
+	}
+	ib.srMu.Lock()
+	if r = ib.srings[src]; r == nil {
+		r = &sparseRing{src: src}        //ygmvet:ignore allocinloop -- once per materialized channel
+		r.buf = make([]*Packet, ringCap) //ygmvet:ignore allocinloop -- once per materialized channel
+		ib.srings[src] = r
+	}
+	ib.srMu.Unlock()
+	return r
+}
+
+// markDirty queues r on the dirty stack unless it is already queued.
+// The pre-check keeps the steady state (ring already flagged from a
+// previous un-absorbed push) to one load, mirroring markActive; the
+// dirty CAS elects exactly one producer to link the ring in.
+func (ib *Inbox) markDirty(r *sparseRing) {
+	if r.dirty.Load() || !r.dirty.CompareAndSwap(false, true) {
+		return
+	}
+	for {
+		head := ib.dirtyHead.Load()
+		r.next = head
+		if ib.dirtyHead.CompareAndSwap(head, r) {
+			return
+		}
+	}
+}
+
+// testLoseWakeup, when non-nil, makes signal drop the wake it owes the
+// given rank — the seeded lost-wakeup mutation the watchdog smoke test
+// must catch. Test hook; nil in production.
+var testLoseWakeup func(machine.Rank) bool
+
+// signal wakes the owning rank after a push if it is parked: the
+// producer that wins the pParked→pIdle CAS owes exactly one wake — a
+// channel token under the direct model, a scheduler ready() under the
+// M:N model.
+//
+//ygm:hotpath
+func (ib *Inbox) signal() {
 	if ib.pstate.Load() == pParked && ib.pstate.CompareAndSwap(pParked, pIdle) {
+		if testLoseWakeup != nil && testLoseWakeup(ib.self) {
+			return
+		}
 		ib.wakeups.Add(1)
-		ib.wake <- struct{}{}
+		if ib.sched != nil {
+			ib.sched.ready(ib.self)
+		} else {
+			ib.wake <- struct{}{}
+		}
 	}
 }
 
@@ -328,20 +484,42 @@ func (ib *Inbox) markActive(src uint64) {
 //
 //ygm:hotpath
 func (ib *Inbox) absorb() {
-	for w := range ib.active {
-		if ib.active[w].Load() == 0 {
-			continue
-		}
-		set := ib.active[w].Swap(0)
-		base := w << 6
-		for set != 0 {
-			b := bits.TrailingZeros64(set)
-			set &= set - 1
-			ib.drainChannel(&ib.rings[base+b])
+	if ib.srings != nil {
+		ib.absorbSparse()
+	} else {
+		for w := range ib.active {
+			if ib.active[w].Load() == 0 {
+				continue
+			}
+			set := ib.active[w].Swap(0)
+			base := w << 6
+			for set != 0 {
+				b := bits.TrailingZeros64(set)
+				set &= set - 1
+				ib.drainChannel(&ib.rings[base+b])
+			}
 		}
 	}
 	if ib.depth > ib.maxDepth {
 		ib.maxDepth = ib.depth
+	}
+}
+
+// absorbSparse drains every ring on the dirty stack — the sparse
+// analogue of the bitmap word-swap. Each ring's dirty flag is cleared
+// BEFORE its drain: a producer that publishes a packet after the clear
+// re-wins the dirty CAS and re-queues the ring (the drain may or may
+// not see that packet; either way it is never stranded). A packet
+// published before the clear is seen by the drain, because the producer
+// stores the slot before the dirty CAS and the consumer reads tail
+// after the clear. An empty swap costs one load.
+func (ib *Inbox) absorbSparse() {
+	r := ib.dirtyHead.Swap(nil)
+	for r != nil {
+		next := r.next
+		r.dirty.Store(false)
+		ib.drainChannel(&r.inboxRing)
+		r = next
 	}
 }
 
@@ -492,7 +670,7 @@ func (ib *Inbox) WaitPop(tag Tag) *Packet {
 			runtime.Gosched()
 			continue
 		}
-		if ib.wake == nil {
+		if ib.sched == nil && ib.wake == nil {
 			ib.wake = make(chan struct{}, 1)
 		}
 		ib.pstate.Store(pParked)
@@ -513,7 +691,11 @@ func (ib *Inbox) WaitPop(tag Tag) *Packet {
 			return nil
 		}
 		ib.parks++
-		<-ib.wake
+		if ib.sched != nil {
+			ib.sched.park(ib.self)
+		} else {
+			<-ib.wake
+		}
 		ib.waiting.Store(false)
 		spins = 0
 	}
@@ -521,12 +703,16 @@ func (ib *Inbox) WaitPop(tag Tag) *Packet {
 
 // unpark retracts a published park after the pre-sleep recheck found
 // data (or poison). If a producer already won the pParked→pIdle CAS it
-// has sent — or is about to send — exactly one token; consume it so a
-// future park cannot wake spuriously.
+// owes exactly one wake: consume the channel token (so a future park
+// cannot wake spuriously), or cancel the in-flight scheduler ready.
 func (ib *Inbox) unpark() {
 	ib.waiting.Store(false)
 	if !ib.pstate.CompareAndSwap(pParked, pIdle) {
-		<-ib.wake
+		if ib.sched != nil {
+			ib.sched.discard(ib.self)
+		} else {
+			<-ib.wake
+		}
 	}
 }
 
@@ -575,27 +761,63 @@ func (ib *Inbox) DrainInto(tag Tag, dst []*Packet) []*Packet {
 	return dst
 }
 
+// pushCount sums every channel's push counters (ring tails plus
+// overflow). Safe from the watchdog goroutine: the sparse table is read
+// under the read lock, the counters are atomic.
+func (ib *Inbox) pushCount() uint64 {
+	var pushes uint64
+	if ib.srings != nil {
+		ib.srMu.RLock()
+		for _, r := range ib.srings {
+			pushes += r.tail.Load() + r.ofPushed.Load()
+		}
+		ib.srMu.RUnlock()
+		return pushes
+	}
+	for i := range ib.rings {
+		r := &ib.rings[i]
+		pushes += r.tail.Load() + r.ofPushed.Load()
+	}
+	return pushes
+}
+
 // progress returns a counter that increases with every push and pop —
 // the watchdog's signal that the run is still moving. blocked reports
 // whether the owning rank is parked in WaitPop, and on which tag.
 // Safe to call from the watchdog goroutine.
 func (ib *Inbox) progress() (count uint64, blocked bool, tag Tag) {
-	var pushes uint64
-	for i := range ib.rings {
-		r := &ib.rings[i]
-		pushes += r.tail.Load() + r.ofPushed.Load()
-	}
-	return pushes + ib.pops.Load(), ib.waiting.Load(), Tag(ib.waitTag.Load())
+	return ib.pushCount() + ib.pops.Load(), ib.waiting.Load(), Tag(ib.waitTag.Load())
 }
 
 // poison makes all future WaitPop calls return nil and wakes the
 // receiver if one is parked. Called by the deadlock watchdog only. The
 // unpark CAS is the same protocol producers use, so poison and Push
-// can never both owe a token for one park.
+// can never both owe a token for one park. If the CAS finds the parked
+// state already claimed but the rank still reports itself waiting, the
+// wake that claim owed was lost — the bug class the mutation smoke
+// seeds — and poison forces a wake anyway, so a poisoned run always
+// unwinds into a DeadlockError instead of hanging on a stranded park.
+// A force into a healthy run is a spurious wake the re-check loop
+// absorbs harmlessly.
 func (ib *Inbox) poison() {
 	ib.poisoned.Store(true)
 	if ib.pstate.CompareAndSwap(pParked, pIdle) {
-		ib.wake <- struct{}{}
+		if ib.sched != nil {
+			ib.sched.ready(ib.self)
+		} else {
+			ib.wake <- struct{}{}
+		}
+		return
+	}
+	if ib.waiting.Load() {
+		if ib.sched != nil {
+			ib.sched.forceWake(ib.self)
+		} else if w := ib.wake; w != nil {
+			select {
+			case w <- struct{}{}:
+			default:
+			}
+		}
 	}
 }
 
@@ -605,6 +827,14 @@ func (ib *Inbox) poison() {
 // for its callers: deadlock dumps and post-run accounting).
 func (ib *Inbox) Len() int {
 	n := ib.depth
+	if ib.srings != nil {
+		ib.srMu.RLock()
+		for _, r := range ib.srings {
+			n += int(r.tail.Load()-r.head.Load()) + int(r.ofPushed.Load()-r.ofTaken)
+		}
+		ib.srMu.RUnlock()
+		return n
+	}
 	for i := range ib.rings {
 		r := &ib.rings[i]
 		n += int(r.tail.Load()-r.head.Load()) + int(r.ofPushed.Load()-r.ofTaken)
@@ -646,10 +876,7 @@ func (ib *Inbox) MaxDepth() int { return ib.maxDepth }
 // signal because nobody was waiting. pushes == wakeups + suppressed.
 // Exact when producers are quiescent (post-run accounting).
 func (ib *Inbox) WakeStats() (pushes, wakeups, suppressed uint64) {
-	for i := range ib.rings {
-		r := &ib.rings[i]
-		pushes += r.tail.Load() + r.ofPushed.Load()
-	}
+	pushes = ib.pushCount()
 	wakeups = ib.wakeups.Load()
 	return pushes, wakeups, pushes - wakeups
 }
@@ -664,6 +891,15 @@ func (ib *Inbox) SpinParkStats() (spinHits, parks uint64) {
 // ringOccupancy reports one channel's unabsorbed ring and overflow
 // counts; machine.Rank keys the channel by source. Test/debug helper.
 func (ib *Inbox) ringOccupancy(src machine.Rank) (ring, overflow int) {
+	if ib.srings != nil {
+		ib.srMu.RLock()
+		r := ib.srings[src]
+		ib.srMu.RUnlock()
+		if r == nil {
+			return 0, 0
+		}
+		return int(r.tail.Load() - r.head.Load()), int(r.ofPushed.Load() - r.ofTaken)
+	}
 	r := &ib.rings[src]
 	return int(r.tail.Load() - r.head.Load()), int(r.ofPushed.Load() - r.ofTaken)
 }

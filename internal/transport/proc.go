@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"ygm/internal/machine"
 	"ygm/internal/netsim"
@@ -334,6 +335,21 @@ func (p *Proc) DrainBatch(tag Tag, scratch []*Packet) []*Packet {
 // packet obtained from DrainBatch, exactly as Drain would have.
 func (p *Proc) Absorb(pkt *Packet) { p.absorb(pkt) }
 
+// Yield cedes the rank's execution slot to another runnable rank.
+// Under the M:N scheduler it donates the calling rank's worker token to
+// a queued rank (re-queueing the caller behind it) whenever one is
+// waiting; otherwise — direct model, or nobody waiting — it yields the
+// OS thread. Nonblocking progress loops (mailbox WaitEmpty idling,
+// container TestEmpty polling) must call this instead of
+// runtime.Gosched on their idle path: a token-holding spinner would
+// otherwise starve the very ranks whose messages it polls for.
+func (p *Proc) Yield() {
+	if s := p.world.sched; s != nil && s.yield(p.rank) {
+		return
+	}
+	runtime.Gosched()
+}
+
 // Pending reports how many packets are physically queued under tag,
 // whether or not they have virtually arrived.
 func (p *Proc) Pending(tag Tag) int {
@@ -363,26 +379,30 @@ func (p *Proc) absorb(pkt *Packet) {
 		}
 		return
 	}
-	if jump := pkt.Arrive - p.clock.Now(); jump > 50e-6 {
+	// One fused clock update covers the whole receive: fast-forward to
+	// the arrival (wait time) plus the receive overhead (busy time).
+	// The returned jump — the idle interval skipped, 0 for packets
+	// already arrived — feeds the diagnostics that used to recompute it.
+	before := p.clock.Now()
+	jump := p.clock.AbsorbAt(pkt.Arrive, p.world.model.RecvOverheadFor(p.world.topo.SameNode(p.rank, pkt.Src)))
+	if jump > 50e-6 {
 		// Large arrival waits go to the flight recorder always and, when
 		// traceJumps debugging is enabled, to stderr — never stdout,
 		// which carries machine-read bench output.
 		if p.rec != nil {
-			p.rec.Record(obs.Event{Kind: obs.KJump, T: p.clock.Now(), Peer: int32(pkt.Src), Tag: uint64(pkt.Tag), Size: int64(len(pkt.Payload))})
+			p.rec.Record(obs.Event{Kind: obs.KJump, T: before, Peer: int32(pkt.Src), Tag: uint64(pkt.Tag), Size: int64(len(pkt.Payload))})
 		}
 		if traceJumps {
 			fmt.Fprintf(os.Stderr, "JUMP rank=%d src=%d tag=%x now=%.3fms arrive=%.3fms size=%d\n",
-				p.rank, pkt.Src, pkt.Tag, p.clock.Now()*1e3, pkt.Arrive*1e3, len(pkt.Payload))
+				p.rank, pkt.Src, pkt.Tag, before*1e3, pkt.Arrive*1e3, len(pkt.Payload))
 		}
 	}
-	if d := pkt.Arrive - p.clock.Now(); d > p.jumpD {
-		p.jumpD = d
+	if jump > p.jumpD {
+		p.jumpD = jump
 		p.jumpSrc = pkt.Src
 		p.jumpTag = pkt.Tag
 		p.jumpArrive = pkt.Arrive
 	}
-	p.clock.WaitUntil(pkt.Arrive)
-	p.clock.Advance(p.world.model.RecvOverheadFor(p.world.topo.SameNode(p.rank, pkt.Src)))
 	p.stats.RecvMsgs++
 	if p.rec != nil {
 		p.rec.Record(obs.Event{Kind: obs.KRecv, T: p.clock.Now(), Peer: int32(pkt.Src), Tag: uint64(pkt.Tag), Size: int64(len(pkt.Payload))})

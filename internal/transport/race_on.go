@@ -1,0 +1,10 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether the race detector is compiled in.
+// Large-world tests scale their rank counts down under it: the detector
+// multiplies per-goroutine memory and slows synchronization by an order
+// of magnitude, so a 16k-rank smoke that is cheap in a default build
+// would dominate a -race run.
+const raceEnabled = true

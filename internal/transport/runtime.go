@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,14 @@ type Config struct {
 	// dumps include. Zero selects obs.DefaultRecorderSize; a negative
 	// value disables the recorder entirely.
 	FlightRecorder int
+	// Workers selects the execution model. Zero (the default) is
+	// automatic: worlds larger than schedAutoWorlds ranks on a simulated
+	// wire run under the M:N rank scheduler with one worker token per
+	// host core (GOMAXPROCS); smaller worlds and real-time wires keep
+	// the direct goroutine-per-rank model. A positive value forces the
+	// scheduler with that many worker tokens (any world size, any wire);
+	// -1 forces the direct model. See DESIGN.md §15.
+	Workers int
 	// Wire selects the transport backend below the inbox rings: nil (the
 	// default) is the virtual-time SimWire; LocalWire runs the same
 	// in-process world in real time; TCPWire runs one rank per OS
@@ -99,6 +108,11 @@ type World struct {
 	// it unwinds from a poisoned receive (index = rank, written by the
 	// owning rank only, read after all goroutines join).
 	dead []*RankDeadState
+
+	// sched is the M:N rank scheduler, non-nil when Config.Workers
+	// resolved to a worker pool; nil under the direct
+	// goroutine-per-rank model.
+	sched *scheduler
 }
 
 // RankReport is one rank's outcome. Time/Busy/Wait are virtual netsim
@@ -127,6 +141,10 @@ type Report struct {
 	// means simulated netsim seconds (SimWire), true means measured host
 	// seconds since the run epoch (real-time wires — LocalWire, TCPWire).
 	Wall bool
+	// Sched is the M:N rank scheduler's own metric snapshot (worker
+	// utilization, handoff/steal counts, ready-queue depth) when the run
+	// used one; the zero Snapshot otherwise. Metrics() folds it in.
+	Sched obs.Snapshot
 }
 
 // Makespan returns the run's elapsed time: the maximum final clock over
@@ -182,10 +200,11 @@ func (r *Report) Utilization() float64 {
 // view: counters and histogram buckets add, gauges keep the largest
 // high-water mark.
 func (r *Report) Metrics() obs.Snapshot {
-	snaps := make([]obs.Snapshot, len(r.Ranks))
+	snaps := make([]obs.Snapshot, 0, len(r.Ranks)+1)
 	for i := range r.Ranks {
-		snaps[i] = r.Ranks[i].Metrics
+		snaps = append(snaps, r.Ranks[i].Metrics)
 	}
+	snaps = append(snaps, r.Sched)
 	return obs.MergeSnapshots(snaps...)
 }
 
@@ -224,7 +243,6 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 	w := &World{
 		topo:          cfg.Topo,
 		model:         cfg.Model,
-		inboxes:       make([]*Inbox, size),
 		trackPartners: cfg.TrackPartners,
 		trace:         cfg.Trace,
 		delay:         cfg.Delay,
@@ -235,21 +253,13 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 		w.spanObs = so
 	}
 	w.pool.init()
-	// All inboxes share two world-sized slabs — P² ring headers and (for
-	// slab-eligible worlds) P²·ringCap packet slots — so inbox setup is
-	// a handful of allocations per world rather than several per rank.
-	ringSlab := make([]inboxRing, size*size)
-	var slotSlab []*Packet
-	if size <= ringSlabWorlds {
-		slotSlab = make([]*Packet, size*size*ringCap)
+	w.inboxes = buildInboxes(size)
+	if n := resolveWorkers(cfg.Workers, size, w.realtime); n > 0 {
+		w.sched = newScheduler(size, n)
 	}
-	for i := range w.inboxes {
-		rings := ringSlab[i*size : (i+1)*size : (i+1)*size]
-		var slots []*Packet
-		if slotSlab != nil {
-			slots = slotSlab[i*size*ringCap : (i+1)*size*ringCap]
-		}
-		w.inboxes[i] = newInboxFrom(rings, slots)
+	for i, ib := range w.inboxes {
+		ib.self = machine.Rank(i)
+		ib.sched = w.sched
 	}
 	w.dead = make([]*RankDeadState, size)
 	// local is the set of ranks this process hosts (nil from the wire
@@ -321,6 +331,15 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 					p.computeScale = s
 				}
 			}
+			// Under the M:N scheduler the rank now waits for a worker
+			// token (setup above ran unthrottled — it is pure
+			// allocation). The deferred exit releases the token however
+			// the body unwinds; it runs after the bookkeeping defer
+			// below, so report assembly still holds the token.
+			if w.sched != nil {
+				w.sched.acquire(r)
+				defer w.sched.exit(r)
+			}
 			defer func() {
 				if rec := recover(); rec != nil {
 					if _, ok := rec.(rankDeadlocked); ok {
@@ -371,6 +390,9 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 		}(i)
 	}
 	wg.Wait()
+	if w.sched != nil {
+		report.Sched = w.sched.snapshot()
+	}
 	ferr := w.wire.Finish()
 	if len(local) < size {
 		// Distributed run: compact the report to the ranks this process
@@ -411,3 +433,55 @@ func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
 // errRankDeadlocked marks a rank unwound by the deadlock watchdog; Run
 // replaces it with the aggregated DeadlockError.
 var errRankDeadlocked = fmt.Errorf("transport: rank unwound by deadlock watchdog")
+
+// schedAutoWorlds is the world size above which Config.Workers == 0
+// auto-selects the M:N rank scheduler on simulated wires. Below it the
+// direct goroutine-per-rank model wins: the host scheduler handles a
+// few hundred goroutines fine, and the token handoffs would be pure
+// overhead on the micro-bench worlds.
+const schedAutoWorlds = 1024
+
+// resolveWorkers maps Config.Workers to a worker-token count: 0 means
+// none (direct model). See Config.Workers for the policy.
+func resolveWorkers(cfgWorkers, size int, realtime bool) int {
+	switch {
+	case cfgWorkers > 0:
+		return cfgWorkers
+	case cfgWorkers < 0:
+		return 0
+	case size > schedAutoWorlds && !realtime:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 0
+	}
+}
+
+// buildInboxes constructs the per-rank inboxes for a world of size
+// ranks. Dense worlds (≤ denseWorlds) share two world-sized slabs — P²
+// ring headers and, for slab-eligible sizes, P²·ringCap packet slots —
+// so setup is a handful of allocations per world. Sparse worlds
+// materialize (src→dst) channels on first push instead, keeping an
+// idle world's footprint O(P) rather than O(P²).
+func buildInboxes(size int) []*Inbox {
+	inboxes := make([]*Inbox, size)
+	if size > denseWorlds {
+		for i := range inboxes {
+			inboxes[i] = newSparseInbox()
+		}
+		return inboxes
+	}
+	ringSlab := make([]inboxRing, size*size)
+	var slotSlab []*Packet
+	if size <= ringSlabWorlds {
+		slotSlab = make([]*Packet, size*size*ringCap)
+	}
+	for i := range inboxes {
+		rings := ringSlab[i*size : (i+1)*size : (i+1)*size]
+		var slots []*Packet
+		if slotSlab != nil {
+			slots = slotSlab[i*size*ringCap : (i+1)*size*ringCap]
+		}
+		inboxes[i] = newInboxFrom(rings, slots)
+	}
+	return inboxes
+}

@@ -41,20 +41,40 @@ type DeadlockError struct {
 	Finished []machine.Rank
 }
 
-// Error formats the per-rank state dump.
+// dumpRankCap bounds the per-rank detail in a DeadlockError dump. A
+// 65k-rank world dumping every rank is megabytes of noise; past the
+// cap, Error shows the ranks with the deepest inboxes (the likely
+// congestion points) and aggregates the rest into a blocked-tag
+// histogram. The Blocked slice itself always carries every rank for
+// programmatic consumers.
+const dumpRankCap = 64
+
+// dumpEventRanks bounds how many of the shown ranks include their
+// flight-recorder tail in a summarized dump.
+const dumpEventRanks = 4
+
+// Error formats the per-rank state dump. Worlds of at most dumpRankCap
+// blocked ranks keep the full dump; larger worlds are summarized.
 func (e *DeadlockError) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "transport: deadlock detected: %d rank(s) blocked, %d finished",
 		len(e.Blocked), len(e.Finished))
-	for _, s := range e.Blocked {
-		fmt.Fprintf(&b, "\n  rank %d: blocked on tag %#x, clock %.6fs, inbox depth %d",
-			s.Rank, uint64(s.BlockedTag), s.Clock, s.InboxDepth)
-		if len(s.Recent) > 0 {
-			fmt.Fprintf(&b, "\n    last %d events:\n%s", len(s.Recent),
-				strings.TrimRight(obs.FormatEvents(s.Recent, "      "), "\n"))
+	if len(e.Blocked) > dumpRankCap {
+		e.formatSummary(&b)
+	} else {
+		for _, s := range e.Blocked {
+			fmt.Fprintf(&b, "\n  rank %d: blocked on tag %#x, clock %.6fs, inbox depth %d",
+				s.Rank, uint64(s.BlockedTag), s.Clock, s.InboxDepth)
+			if len(s.Recent) > 0 {
+				fmt.Fprintf(&b, "\n    last %d events:\n%s", len(s.Recent),
+					strings.TrimRight(obs.FormatEvents(s.Recent, "      "), "\n"))
+			}
 		}
 	}
-	if len(e.Finished) > 0 {
+	switch {
+	case len(e.Finished) > dumpRankCap:
+		fmt.Fprintf(&b, "\n  finished: %d rank(s)", len(e.Finished))
+	case len(e.Finished) > 0:
 		parts := make([]string, len(e.Finished))
 		for i, r := range e.Finished {
 			parts[i] = fmt.Sprintf("%d", r)
@@ -62,6 +82,62 @@ func (e *DeadlockError) Error() string {
 		fmt.Fprintf(&b, "\n  finished: rank(s) %s", strings.Join(parts, ", "))
 	}
 	return b.String()
+}
+
+// formatSummary renders the large-world dump: the dumpRankCap
+// deepest-inbox ranks (ties broken by rank), then an aggregate
+// histogram of what the remaining ranks were blocked on.
+func (e *DeadlockError) formatSummary(b *strings.Builder) {
+	deepest := make([]RankDeadState, len(e.Blocked))
+	copy(deepest, e.Blocked)
+	sort.Slice(deepest, func(i, j int) bool {
+		if deepest[i].InboxDepth != deepest[j].InboxDepth {
+			return deepest[i].InboxDepth > deepest[j].InboxDepth
+		}
+		return deepest[i].Rank < deepest[j].Rank
+	})
+	fmt.Fprintf(b, "\n  showing the %d deepest-inbox ranks (%d more aggregated below):",
+		dumpRankCap, len(e.Blocked)-dumpRankCap)
+	for i, s := range deepest[:dumpRankCap] {
+		fmt.Fprintf(b, "\n  rank %d: blocked on tag %#x, clock %.6fs, inbox depth %d",
+			s.Rank, uint64(s.BlockedTag), s.Clock, s.InboxDepth)
+		if i < dumpEventRanks && len(s.Recent) > 0 {
+			fmt.Fprintf(b, "\n    last %d events:\n%s", len(s.Recent),
+				strings.TrimRight(obs.FormatEvents(s.Recent, "      "), "\n"))
+		}
+	}
+	// Aggregate over ALL blocked ranks: which tags the world is stuck
+	// on, and how much traffic is queued behind the deadlock.
+	tags := make(map[Tag]int)
+	totalDepth := 0
+	for _, s := range e.Blocked {
+		tags[s.BlockedTag]++
+		totalDepth += s.InboxDepth
+	}
+	type tagCount struct {
+		tag Tag
+		n   int
+	}
+	hist := make([]tagCount, 0, len(tags))
+	for t, n := range tags {
+		hist = append(hist, tagCount{t, n})
+	}
+	sort.Slice(hist, func(i, j int) bool {
+		if hist[i].n != hist[j].n {
+			return hist[i].n > hist[j].n
+		}
+		return hist[i].tag < hist[j].tag
+	})
+	fmt.Fprintf(b, "\n  blocked-tag histogram (%d distinct tag(s)):", len(hist))
+	const tagCap = 16
+	for i, tc := range hist {
+		if i == tagCap {
+			fmt.Fprintf(b, "\n    ... %d more tag(s)", len(hist)-tagCap)
+			break
+		}
+		fmt.Fprintf(b, "\n    tag %#x: %d rank(s)", uint64(tc.tag), tc.n)
+	}
+	fmt.Fprintf(b, "\n  total queued packets across blocked ranks: %d", totalDepth)
 }
 
 // rankDeadlocked is the panic value a rank raises after recording its

@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ygm/internal/machine"
+	"ygm/internal/obs"
+)
+
+// fabricateDeadStates builds n blocked-rank snapshots with
+// deterministic depths and tags: rank r has inbox depth r%97 and is
+// blocked on one of three tags. Every rank carries a one-event flight
+// recorder so the dumpEventRanks gate is observable.
+func fabricateDeadStates(n int) []RankDeadState {
+	states := make([]RankDeadState, n)
+	for r := 0; r < n; r++ {
+		states[r] = RankDeadState{
+			Rank:       machine.Rank(r),
+			Clock:      float64(r) * 1e-6,
+			InboxDepth: r % 97,
+			BlockedTag: TagUser + Tag(r%3),
+			Recent: []obs.Event{{
+				Kind: obs.KMark, T: float64(r) * 1e-6, Peer: -1, Name: "probe",
+			}},
+		}
+	}
+	return states
+}
+
+// TestDeadlockDumpSummarized checks the large-world DeadlockError
+// rendering: past dumpRankCap blocked ranks, the dump must show only
+// the cap's worth of deepest-inbox ranks, aggregate the rest into a
+// blocked-tag histogram, and report total queued traffic — without ever
+// growing O(P) detail lines.
+func TestDeadlockDumpSummarized(t *testing.T) {
+	const world = 200
+	err := &DeadlockError{
+		Blocked:  fabricateDeadStates(world),
+		Finished: []machine.Rank{},
+	}
+	msg := err.Error()
+
+	if !strings.Contains(msg, fmt.Sprintf("deadlock detected: %d rank(s) blocked", world)) {
+		t.Fatalf("missing blocked-count header:\n%s", msg)
+	}
+	wantHeader := fmt.Sprintf("showing the %d deepest-inbox ranks (%d more aggregated below):",
+		dumpRankCap, world-dumpRankCap)
+	if !strings.Contains(msg, wantHeader) {
+		t.Fatalf("missing summary header %q:\n%s", wantHeader, msg)
+	}
+	if got := strings.Count(msg, "blocked on tag"); got != dumpRankCap {
+		t.Fatalf("%d per-rank lines, want exactly %d", got, dumpRankCap)
+	}
+	// Depth 96 is the maximum of r%97 over 200 ranks; rank 96 hits it
+	// first, so ties break to it and it must lead the listing.
+	if !strings.Contains(msg, "rank 96: blocked on tag") {
+		t.Fatalf("deepest-inbox rank 96 not shown:\n%s", msg)
+	}
+	lines := strings.Split(msg, "\n")
+	firstRankLine := ""
+	for _, l := range lines {
+		if strings.Contains(l, "blocked on tag") {
+			firstRankLine = strings.TrimSpace(l)
+			break
+		}
+	}
+	if !strings.HasPrefix(firstRankLine, "rank 96:") {
+		t.Fatalf("listing must start with the deepest inbox (rank 96), got %q", firstRankLine)
+	}
+	// Flight-recorder tails appear for at most dumpEventRanks of the
+	// shown ranks even though every fabricated state carries events.
+	if got := strings.Count(msg, "last 1 events"); got != dumpEventRanks {
+		t.Fatalf("%d flight-recorder tails, want %d", got, dumpEventRanks)
+	}
+	if !strings.Contains(msg, "blocked-tag histogram (3 distinct tag(s)):") {
+		t.Fatalf("missing blocked-tag histogram:\n%s", msg)
+	}
+	// Histogram rows must cover every blocked rank, not just the shown
+	// ones: 200 ranks over 3 tags → 67+67+66.
+	for _, want := range []string{": 67 rank(s)", ": 66 rank(s)"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("histogram row %q missing:\n%s", want, msg)
+		}
+	}
+	totalDepth := 0
+	for r := 0; r < world; r++ {
+		totalDepth += r % 97
+	}
+	if !strings.Contains(msg, fmt.Sprintf("total queued packets across blocked ranks: %d", totalDepth)) {
+		t.Fatalf("missing/incorrect total-queued line (want %d):\n%s", totalDepth, msg)
+	}
+}
+
+// TestDeadlockDumpSmallWorldFull pins the small-world format: at or
+// below dumpRankCap blocked ranks every rank gets its own detail line
+// and no summary machinery appears.
+func TestDeadlockDumpSmallWorldFull(t *testing.T) {
+	err := &DeadlockError{
+		Blocked: []RankDeadState{
+			{Rank: 2, Clock: 0.25, InboxDepth: 3, BlockedTag: TagUser},
+			{Rank: 5, Clock: 0.5, InboxDepth: 0, BlockedTag: TagData},
+		},
+		Finished: []machine.Rank{0, 1},
+	}
+	msg := err.Error()
+	want := "transport: deadlock detected: 2 rank(s) blocked, 2 finished" +
+		"\n  rank 2: blocked on tag 0x10, clock 0.250000s, inbox depth 3" +
+		"\n  rank 5: blocked on tag 0x1, clock 0.500000s, inbox depth 0" +
+		"\n  finished: rank(s) 0, 1"
+	if msg != want {
+		t.Fatalf("small-world dump drifted:\n got: %q\nwant: %q", msg, want)
+	}
+}
+
+// TestDeadlockDumpManyFinished checks the finished-rank list also
+// collapses to a count past dumpRankCap instead of listing 65k ranks.
+func TestDeadlockDumpManyFinished(t *testing.T) {
+	finished := make([]machine.Rank, dumpRankCap+1)
+	for i := range finished {
+		finished[i] = machine.Rank(i)
+	}
+	err := &DeadlockError{
+		Blocked:  fabricateDeadStates(1)[:1],
+		Finished: finished,
+	}
+	msg := err.Error()
+	want := fmt.Sprintf("finished: %d rank(s)", dumpRankCap+1)
+	if !strings.Contains(msg, want) {
+		t.Fatalf("missing collapsed finished line %q:\n%s", want, msg)
+	}
+	if strings.Contains(msg, "finished: rank(s)") {
+		t.Fatalf("finished ranks listed individually past cap:\n%s", msg)
+	}
+}

@@ -3,7 +3,6 @@ package ygm
 import (
 	"fmt"
 	"os"
-	"runtime"
 
 	"ygm/internal/codec"
 	"ygm/internal/machine"
@@ -480,7 +479,7 @@ func (mb *RoundMailbox) WaitEmpty() {
 			// already died this loop would spin forever (nothing blocks,
 			// so the deadlock watchdog cannot see it) — unwind instead.
 			mb.p.AbortIfPeerFailed()
-			runtime.Gosched()
+			mb.p.Yield()
 		}
 	}
 }
